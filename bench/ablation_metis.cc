@@ -1,0 +1,81 @@
+// Ablation of the multilevel partitioner's design choices (DESIGN.md §2):
+// refinement passes, coarsening stop point, and imbalance tolerance vs
+// the resulting edge cut and balance. Documents why the defaults are
+// what they are.
+//
+// Usage: ablation_metis [--datasets=reddit_s] [--parts=4]
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "graph/stats.h"
+#include "partition/metis_partitioner.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+
+  Table table("Ablation: multilevel partitioner knobs (Metis-V mode)");
+  table.SetHeader({"dataset", "config", "edge_cut", "train_imbalance",
+                   "seconds"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "reddit_s")) {
+    RoleMasks masks = MakeRoleMasks(ds.graph.num_vertices(), ds.split);
+    std::vector<uint32_t> weights(ds.graph.num_vertices());
+    for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+      weights[v] = masks.is_train[v];
+    }
+
+    auto run = [&](const std::string& name, MultilevelOptions options) {
+      WallTimer timer;
+      std::vector<uint32_t> assignment = MultilevelPartition(
+          ds.graph, weights, /*num_constraints=*/1, parts, 77, options);
+      const double seconds = timer.Seconds();
+      uint64_t cut = 0;
+      for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+        for (VertexId u : ds.graph.neighbors(v)) {
+          if (assignment[u] != assignment[v]) ++cut;
+        }
+      }
+      std::vector<double> train_counts(parts, 0.0);
+      for (VertexId v : ds.split.train) ++train_counts[assignment[v]];
+      table.AddRow({ds.name, name, std::to_string(cut / 2),
+                    Table::Num(ImbalanceFactor(train_counts), 3),
+                    Table::Num(seconds, 4)});
+    };
+
+    MultilevelOptions defaults;
+    run("defaults", defaults);
+
+    MultilevelOptions no_refine = defaults;
+    no_refine.refine_passes = 0;
+    run("refine_passes=0", no_refine);
+
+    MultilevelOptions heavy_refine = defaults;
+    heavy_refine.refine_passes = 8;
+    run("refine_passes=8", heavy_refine);
+
+    MultilevelOptions shallow = defaults;
+    shallow.coarsen_target_per_part = 200;
+    run("coarsen_target=200/part", shallow);
+
+    MultilevelOptions tight = defaults;
+    tight.imbalance = 0.02;
+    run("imbalance=2%", tight);
+
+    MultilevelOptions loose = defaults;
+    loose.imbalance = 0.30;
+    run("imbalance=30%", loose);
+  }
+  bench::Emit(table, flags, "ablation_metis");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation (paper §6.2 "Sampling Algorithms"): vertex-wise vs layer-wise
+// vs subgraph-wise sampling at comparable budgets. The paper treats the
+// choice as orthogonal to its parameter study; this ablation verifies
+// the classic trade-offs on our substrate: vertex-wise grows
+// exponentially with depth, layer-wise bounds each level, subgraph-wise
+// bounds the whole working set.
+//
+// Usage: ablation_sampling_algorithms [--datasets=reddit_s]
+//                                     [--batches=8]
+#include <algorithm>
+
+#include "batch/batch_selector.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "sampling/layerwise_sampler.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/randomwalk_sampler.h"
+#include "sampling/subgraph_sampler.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto batches = static_cast<uint32_t>(flags.GetInt("batches", 8));
+
+  Table table("Ablation: sampling algorithm working sets (batch = 256)");
+  table.SetHeader({"dataset", "algorithm", "input_vertices/batch",
+                   "edges/batch", "max_level_width"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "reddit_s")) {
+    NeighborSampler vertex_wise = NeighborSampler::WithFanouts({25, 10});
+    LayerwiseSampler layer_wise({2048, 1024});
+    SubgraphSampler subgraph_wise(/*walk_length=*/6, /*num_layers=*/2);
+
+    Rng rng(73);
+    RandomBatchSelector selector;
+    auto epoch = selector.SelectEpoch(ds.split.train, 256, rng);
+
+    auto measure = [&](const char* name, auto&& sampler) {
+      uint64_t inputs = 0, edges = 0, max_width = 0;
+      Rng sample_rng(74);
+      for (uint32_t b = 0; b < batches && b < epoch.size(); ++b) {
+        SampledSubgraph sg = sampler.Sample(ds.graph, epoch[b], sample_rng);
+        inputs += sg.input_vertices().size();
+        edges += sg.TotalEdges();
+        for (const auto& level : sg.node_ids) {
+          max_width = std::max<uint64_t>(max_width, level.size());
+        }
+      }
+      const uint32_t n = std::min<uint32_t>(batches,
+                                            static_cast<uint32_t>(
+                                                epoch.size()));
+      table.AddRow({ds.name, name, std::to_string(inputs / n),
+                    std::to_string(edges / n), std::to_string(max_width)});
+    };
+    RandomWalkSampler pinsage(/*fanouts=*/{25, 10}, /*num_walks=*/16,
+                              /*walk_length=*/3, /*restart=*/0.3);
+    measure("vertex-wise fanout(25,10)", vertex_wise);
+    measure("vertex-wise randomwalk(25,10)", pinsage);
+    measure("layer-wise budget(2048,1024)", layer_wise);
+    measure("subgraph-wise walk(6)", subgraph_wise);
+  }
+  bench::Emit(table, flags, "ablation_sampling_algorithms");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

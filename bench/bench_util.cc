@@ -1,0 +1,96 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "core/convergence.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metis_partitioner.h"
+#include "partition/stream_partitioner.h"
+
+namespace gnndm {
+namespace bench {
+
+void Emit(const Table& table, const Flags& flags,
+          const std::string& file_stem) {
+  std::printf("%s\n", table.ToAscii().c_str());
+  if (flags.Has("csv_dir")) {
+    const std::string path =
+        flags.GetString("csv_dir", ".") + "/" + file_stem + ".csv";
+    Status s = table.WriteCsv(path);
+    if (!s.ok()) {
+      GNNDM_LOG(Warning) << "csv write failed: " << s.ToString();
+    } else {
+      std::printf("[csv written to %s]\n", path.c_str());
+    }
+  }
+}
+
+Dataset LoadOrDie(const Flags& flags, const std::string& fallback,
+                  uint64_t seed) {
+  const std::string name = flags.GetString("dataset", fallback);
+  Result<Dataset> ds = LoadDataset(name, seed);
+  if (!ds.ok()) {
+    GNNDM_LOG(Error) << ds.status().ToString();
+    std::exit(1);
+  }
+  return std::move(ds).value();
+}
+
+std::vector<Dataset> LoadAllOrDie(const Flags& flags,
+                                  const std::string& fallback_csv,
+                                  uint64_t seed) {
+  std::string list = flags.GetString("datasets", fallback_csv);
+  std::vector<Dataset> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    std::string name = list.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!name.empty()) {
+      Result<Dataset> ds = LoadDataset(name, seed);
+      if (!ds.ok()) {
+        GNNDM_LOG(Error) << ds.status().ToString();
+        std::exit(1);
+      }
+      out.push_back(std::move(ds).value());
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void EmitCurve(const ConvergenceTracker& tracker, const Flags& flags,
+               const std::string& file_stem) {
+  if (!flags.Has("csv_dir")) return;
+  Table curve("convergence: " + file_stem);
+  curve.SetHeader({"epoch", "seconds", "val_accuracy", "train_loss"});
+  for (const ConvergenceTracker::Point& p : tracker.history()) {
+    curve.AddRow({std::to_string(p.epoch), Table::Num(p.seconds, 6),
+                  Table::Num(p.val_accuracy, 4),
+                  Table::Num(p.train_loss, 4)});
+  }
+  const std::string path =
+      flags.GetString("csv_dir", ".") + "/" + file_stem + "_curve.csv";
+  Status s = curve.WriteCsv(path);
+  if (!s.ok()) {
+    GNNDM_LOG(Warning) << "curve write failed: " << s.ToString();
+  }
+}
+
+std::vector<std::unique_ptr<Partitioner>> AllPartitioners() {
+  std::vector<std::unique_ptr<Partitioner>> methods;
+  methods.push_back(std::make_unique<HashPartitioner>());
+  methods.push_back(std::make_unique<MetisPartitioner>(MetisMode::kV));
+  methods.push_back(std::make_unique<MetisPartitioner>(MetisMode::kVE));
+  methods.push_back(std::make_unique<MetisPartitioner>(MetisMode::kVET));
+  methods.push_back(std::make_unique<StreamVPartitioner>(2));
+  methods.push_back(std::make_unique<StreamBPartitioner>());
+  return methods;
+}
+
+}  // namespace bench
+}  // namespace gnndm

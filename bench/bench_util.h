@@ -1,0 +1,47 @@
+#ifndef GNNDM_BENCH_BENCH_UTIL_H_
+#define GNNDM_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/convergence.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+
+namespace gnndm {
+namespace bench {
+
+/// Prints the table and, when `--csv_dir=<dir>` was passed, also writes
+/// `<dir>/<file_stem>.csv`.
+void Emit(const Table& table, const Flags& flags,
+          const std::string& file_stem);
+
+/// Loads the dataset named by `--dataset=` (default `fallback`); dies on
+/// unknown names.
+Dataset LoadOrDie(const Flags& flags, const std::string& fallback,
+                  uint64_t seed = 42);
+
+/// Loads each dataset named in the comma-separated `--datasets=` flag
+/// (default `fallback_csv`).
+std::vector<Dataset> LoadAllOrDie(const Flags& flags,
+                                  const std::string& fallback_csv,
+                                  uint64_t seed = 42);
+
+/// The six partitioning methods of Table 3, in paper order: Hash,
+/// Metis-V, Metis-VE, Metis-VET, Stream-V, Stream-B.
+std::vector<std::unique_ptr<Partitioner>> AllPartitioners();
+
+/// When `--csv_dir` is set, writes a convergence trajectory
+/// (epoch, virtual seconds, val accuracy, train loss) to
+/// `<dir>/<file_stem>_curve.csv` — the raw series behind the paper's
+/// accuracy-vs-time plots. No-op otherwise.
+void EmitCurve(const ConvergenceTracker& tracker, const Flags& flags,
+               const std::string& file_stem);
+
+}  // namespace bench
+}  // namespace gnndm
+
+#endif  // GNNDM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Figure 2: step-level time breakdown of GNN (2-layer GCN + MLP head)
+// vs DNN (same-capacity MLP) training. The paper's shape: data
+// management (batch preparation + data transferring) dominates GNN
+// training, while NN computation dominates DNN training.
+//
+// Usage: fig02_breakdown [--datasets=reddit_s,products_s] [--epochs=2]
+//                        [--csv_dir=DIR]
+#include <string>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+TrainerConfig BaseConfig(const std::string& model) {
+  TrainerConfig config;
+  config.model = model;
+  config.batch_size = 512;
+  config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+  config.seed = 42;
+  return config;
+}
+
+void Run(const Flags& flags) {
+  Table table("Figure 2: time portion of training steps, GNN vs DNN");
+  table.SetHeader({"dataset", "model", "batch_prep%", "transfer%", "nn%",
+                   "epoch_s(virtual)"});
+
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 2));
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    for (const std::string model : {"gcn", "mlp"}) {
+      Trainer trainer(ds, BaseConfig(model));
+      double bp = 0, transfer = 0, nn = 0, total_epoch = 0;
+      for (uint32_t e = 0; e < epochs; ++e) {
+        EpochStats stats = trainer.TrainEpoch();
+        bp += stats.batch_prep_seconds;
+        transfer += stats.extract_seconds + stats.load_seconds;
+        nn += stats.nn_seconds;
+        total_epoch += stats.epoch_seconds;
+      }
+      const double busy = bp + transfer + nn;
+      table.AddRow({ds.name, model == "gcn" ? "GNN(GCN)" : "DNN(MLP)",
+                    Table::Num(100.0 * bp / busy, 1),
+                    Table::Num(100.0 * transfer / busy, 1),
+                    Table::Num(100.0 * nn / busy, 1),
+                    Table::Num(total_epoch / epochs, 4)});
+    }
+  }
+  bench::Emit(table, flags, "fig02_breakdown");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

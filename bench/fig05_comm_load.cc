@@ -1,0 +1,59 @@
+// Figure 5: communication load of the six partitioning methods — per-
+// machine bytes sent/received (remote sampled structures + feature
+// vectors) for one simulated epoch. Expected shape: Hash most balanced,
+// highest volume; Metis-V lowest volume, imbalanced; Stream-V zero
+// (L-hop halo caching); Stream-B low volume but imbalanced.
+//
+// Usage: fig05_comm_load [--datasets=reddit_s,products_s] [--parts=4]
+#include "bench_util.h"
+#include "common/table.h"
+#include "partition/analyzer.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+  NeighborSampler sampler = NeighborSampler::WithFanouts({25, 10});
+
+  Table table("Figure 5: communication load per partitioning method");
+  table.SetHeader(
+      {"dataset", "method", "machine", "bytes_out_MB", "bytes_in_MB"});
+  Table summary("Figure 5 (summary): totals and imbalance");
+  summary.SetHeader(
+      {"dataset", "method", "total_comm_MB", "comm_imbalance"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    AnalyzerOptions options;
+    options.batch_size = 512;
+    options.feature_bytes = ds.features.dim() * 4;
+    for (const auto& method : bench::AllPartitioners()) {
+      PartitionResult partition =
+          method->Partition({ds.graph, ds.split}, parts, 7);
+      PartitionLoadReport report = AnalyzePartition(
+          ds.graph, ds.split, partition, sampler, options);
+      for (uint32_t m = 0; m < parts; ++m) {
+        const MachineLoad& load = report.machines[m];
+        table.AddRow({ds.name, method->name(), std::to_string(m),
+                      Table::Num(load.bytes_out / 1e6, 2),
+                      Table::Num(load.bytes_in / 1e6, 2)});
+      }
+      summary.AddRow({ds.name, method->name(),
+                      Table::Num(report.TotalCommunication() / 1e6, 2),
+                      Table::Num(report.CommunicationImbalance(), 3)});
+    }
+  }
+  bench::Emit(table, flags, "fig05_comm_load");
+  bench::Emit(summary, flags, "fig05_comm_load_summary");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: partitioning time vs training time. Both measured in real
+// wall-clock seconds on this machine (the only apples-to-apples unit
+// available); training runs the distributed trainer to convergence.
+// Expected shape: Hash ~0.1%, Metis-* < 10%, streaming dominates.
+//
+// Usage: fig06_part_time [--datasets=arxiv_s,reddit_s] [--parts=4]
+//                        [--max_epochs=15]
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "dist/dist_trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 15));
+
+  Table table("Figure 6: partitioning time vs training time (wall clock)");
+  table.SetHeader({"dataset", "method", "partition_s", "train_s",
+                   "partition_share%"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "arxiv_s,reddit_s")) {
+    TrainerConfig config;
+    config.batch_size = 512;
+    config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+    config.seed = 9;
+    for (const auto& method : bench::AllPartitioners()) {
+      PartitionResult partition =
+          method->Partition({ds.graph, ds.split}, parts, 9);
+      DistTrainer trainer(ds, partition, config);
+      WallTimer timer;
+      trainer.TrainToConvergence(max_epochs, /*patience=*/5);
+      const double train_seconds = timer.Seconds();
+      const double share =
+          100.0 * partition.seconds / (partition.seconds + train_seconds);
+      table.AddRow({ds.name, method->name(),
+                    Table::Num(partition.seconds, 4),
+                    Table::Num(train_seconds, 2), Table::Num(share, 2)});
+    }
+  }
+  bench::Emit(table, flags, "fig06_part_time");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

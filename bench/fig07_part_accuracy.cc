@@ -1,0 +1,72 @@
+// Figure 7 + Table 4: accuracy and convergence speed of the six
+// partitioning methods under synchronous data-parallel training on 4
+// simulated workers. Expected shape: best accuracy ~equal across methods
+// (Table 4's ±1%); among the Metis variants, VET converges fastest (most
+// constraints => least clustering => most batch randomness); Hash is
+// slowest overall.
+//
+// Usage: fig07_part_accuracy [--datasets=reddit_s] [--parts=4]
+//                            [--max_epochs=25] [--target=0.9]
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "dist/dist_trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 25));
+  // Convergence-speed target: this fraction of the best accuracy any
+  // method reaches on the dataset.
+  const double target_fraction = flags.GetDouble("target", 0.9);
+
+  Table table(
+      "Figure 7 / Table 4: accuracy & convergence per partitioning");
+  table.SetHeader({"dataset", "method", "best_acc%", "time_to_target_s",
+                   "epochs_to_target"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "reddit_s")) {
+    TrainerConfig config;
+    config.batch_size = 512;
+    config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+    config.seed = 13;
+
+    // First pass: run every method, keep trackers.
+    std::vector<std::string> names;
+    std::vector<ConvergenceTracker> trackers;
+    double best_overall = 0.0;
+    for (const auto& method : bench::AllPartitioners()) {
+      PartitionResult partition =
+          method->Partition({ds.graph, ds.split}, parts, 13);
+      DistTrainer trainer(ds, partition, config);
+      trackers.push_back(
+          trainer.TrainToConvergence(max_epochs, /*patience=*/8));
+      names.push_back(method->name());
+      best_overall = std::max(best_overall, trackers.back().BestAccuracy());
+    }
+    const double target = target_fraction * best_overall;
+    for (size_t i = 0; i < names.size(); ++i) {
+      bench::EmitCurve(trackers[i], flags,
+                       "fig07_" + ds.name + "_" + names[i]);
+      table.AddRow(
+          {ds.name, names[i],
+           Table::Num(100.0 * trackers[i].BestAccuracy(), 2),
+           Table::Num(trackers[i].SecondsToAccuracy(target), 3),
+           std::to_string(trackers[i].EpochsToAccuracy(target))});
+    }
+  }
+  bench::Emit(table, flags, "fig07_part_accuracy");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 8: per-epoch (virtual) time under each partitioning method on 4
+// simulated workers. Expected shape: Hash longest (most remote traffic);
+// Stream-V/B long on power-law graphs (compute imbalance gates the
+// synchronous rounds); the Metis variants similar to each other.
+//
+// Usage: fig08_epoch_time [--datasets=reddit_s,products_s] [--parts=4]
+//                         [--epochs=3]
+#include "bench_util.h"
+#include "common/table.h"
+#include "dist/dist_trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 3));
+
+  Table table("Figure 8: epoch time per partitioning method");
+  table.SetHeader({"dataset", "method", "epoch_s(virtual)",
+                   "remote_MB/epoch"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    TrainerConfig config;
+    config.batch_size = 512;
+    config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+    config.seed = 17;
+    auto run = [&](const std::string& name,
+                   const PartitionResult& partition,
+                   const TrainerConfig& trainer_config) {
+      DistTrainer trainer(ds, partition, trainer_config);
+      double total_seconds = 0.0;
+      uint64_t remote_bytes = 0;
+      for (uint32_t e = 0; e < epochs; ++e) {
+        DistEpochStats stats = trainer.TrainEpoch();
+        total_seconds += stats.epoch_seconds;
+        for (const WorkerStats& w : stats.workers) {
+          remote_bytes += w.remote_feature_bytes + w.remote_structure_bytes;
+        }
+      }
+      table.AddRow({ds.name, name, Table::Num(total_seconds / epochs, 4),
+                    Table::Num(remote_bytes / 1e6 / epochs, 2)});
+    };
+    for (const auto& method : bench::AllPartitioners()) {
+      PartitionResult partition =
+          method->Partition({ds.graph, ds.split}, parts, 17);
+      run(method->name(), partition, config);
+      if (method->name() == "Hash") {
+        // P3 = hash partitioning + hybrid (feature-parallel) layer-1:
+        // ships hidden-dim partial activations instead of feature rows.
+        TrainerConfig p3 = config;
+        p3.p3_feature_parallel = true;
+        run("Hash+P3-hybrid", partition, p3);
+      }
+    }
+  }
+  bench::Emit(table, flags, "fig08_epoch_time");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10: adaptive batch size (the paper's proposed technique,
+// §6.3.1) vs fixed batch sizes. Start small for fast early convergence,
+// grow geometrically for accuracy. Expected shape: adaptive reaches the
+// target accuracy ~1.5-1.6x faster than the best fixed size while
+// matching its final accuracy.
+//
+// Usage: fig10_adaptive_batch [--datasets=reddit_s,products_s]
+//                             [--max_epochs=40] [--target=0.95]
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 60));
+  const double target_fraction = flags.GetDouble("target", 0.98);
+
+  Table table("Figure 10: adaptive batch size vs fixed batch sizes");
+  table.SetHeader({"dataset", "schedule", "best_acc%", "time_to_target_s",
+                   "speedup_vs_fixed_small"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    auto run = [&](bool adaptive, uint32_t fixed_size) {
+      TrainerConfig config;
+      config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+      config.seed = 29;
+      config.batch_size = fixed_size;
+      config.adaptive_batch = adaptive;
+      config.adaptive_initial = 64;
+      config.adaptive_max = 512;
+      config.adaptive_epochs_per_step = 5;
+      Trainer trainer(ds, config);
+      return trainer.TrainToConvergence(max_epochs, /*patience=*/12);
+    };
+
+    ConvergenceTracker small = run(false, 64);
+    ConvergenceTracker medium = run(false, 512);
+    ConvergenceTracker large = run(false, 2048);
+    ConvergenceTracker adaptive = run(true, 64);
+    const double best = std::max({small.BestAccuracy(),
+                                  medium.BestAccuracy(),
+                                  large.BestAccuracy(),
+                                  adaptive.BestAccuracy()});
+    const double target = target_fraction * best;
+    const double t_small = small.SecondsToAccuracy(target);
+    auto add = [&](const char* name, const ConvergenceTracker& tracker) {
+      bench::EmitCurve(tracker, flags,
+                       "fig10_" + ds.name + "_" + std::string(name));
+      const double t = tracker.SecondsToAccuracy(target);
+      table.AddRow({ds.name, name,
+                    Table::Num(100.0 * tracker.BestAccuracy(), 2),
+                    Table::Num(t, 3),
+                    (t > 0 && t_small > 0) ? Table::Num(t_small / t, 2)
+                                           : "n/a"});
+    };
+    add("fixed(64)", small);
+    add("fixed(512)", medium);
+    add("fixed(2048)", large);
+    add("adaptive(64->512)", adaptive);
+  }
+  bench::Emit(table, flags, "fig10_adaptive_batch");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

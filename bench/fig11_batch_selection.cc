@@ -1,0 +1,72 @@
+// Figure 11 + Table 6: random vs cluster-based batch selection.
+// Expected shape: cluster-based shortens the epoch (shared neighbors =>
+// fewer involved vertices/edges, Table 6) but loses accuracy and is less
+// stable (selection bias); random wins on accuracy.
+//
+// Usage: fig11_batch_selection [--datasets=reddit_s,products_s]
+//                              [--max_epochs=30]
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+#include "graph/stats.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 30));
+
+  Table table("Figure 11 / Table 6: random vs cluster-based selection");
+  table.SetHeader({"dataset", "method", "best_acc%", "acc_stddev%",
+                   "epoch_s(virtual)", "involved_V/epoch",
+                   "involved_E/epoch"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    for (const char* selector : {"random", "cluster"}) {
+      TrainerConfig config;
+      config.batch_size = 512;
+      config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+      config.batch_selector = selector;
+      config.cluster_count = 32;
+      config.seed = 31;
+      Trainer trainer(ds, config);
+
+      double epoch_seconds = 0.0;
+      uint64_t involved_v = 0, involved_e = 0;
+      std::vector<double> accuracies;
+      for (uint32_t e = 0; e < max_epochs; ++e) {
+        EpochStats stats = trainer.TrainEpoch();
+        epoch_seconds += stats.epoch_seconds;
+        involved_v += stats.involved_vertices;
+        involved_e += stats.involved_edges;
+        accuracies.push_back(trainer.Evaluate(ds.split.val));
+      }
+      // Stability: std-dev of the last half of the accuracy curve (the
+      // paper calls cluster-based training "unstable").
+      std::vector<double> tail(accuracies.begin() + max_epochs / 2,
+                               accuracies.end());
+      double best = 0.0;
+      for (double a : accuracies) best = std::max(best, a);
+      table.AddRow({ds.name, selector, Table::Num(100.0 * best, 2),
+                    Table::Num(100.0 * StdDev(tail), 2),
+                    Table::Num(epoch_seconds / max_epochs, 4),
+                    std::to_string(involved_v / max_epochs),
+                    std::to_string(involved_e / max_epochs)});
+    }
+  }
+  bench::Emit(table, flags, "fig11_batch_selection");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 12: accuracy and convergence under (a) fanout sweeps and
+// (b) sampling-rate sweeps (Arxiv in the paper). Expected shape: both
+// curves rise then fall in accuracy as the parameter grows; rate-based
+// accuracy sits below fanout-based overall (small rates starve
+// low-degree vertices, §6.3.4).
+//
+// Usage: fig12_fanout_rate [--datasets=arxiv_s] [--max_epochs=40]
+//                          [--target=0.95]
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+ConvergenceTracker RunConfig(const Dataset& ds, std::vector<HopSpec> hops,
+                             uint32_t max_epochs) {
+  TrainerConfig config;
+  config.batch_size = 512;
+  config.hops = std::move(hops);
+  config.seed = 37;
+  Trainer trainer(ds, config);
+  return trainer.TrainToConvergence(max_epochs, /*patience=*/10);
+}
+
+void Run(const Flags& flags) {
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 60));
+  const double target_fraction = flags.GetDouble("target", 0.95);
+
+  Table table("Figure 12: fanout sweep (a) and sample-rate sweep (b)");
+  table.SetHeader({"dataset", "sampling", "best_acc%", "time_to_target_s",
+                   "epochs_to_target"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "arxiv_s")) {
+    std::vector<std::string> names;
+    std::vector<ConvergenceTracker> trackers;
+    // (a) fanout (k, k) for k in {2, 4, 8, 16, 32}.
+    for (uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+      names.push_back("fanout(" + std::to_string(k) + "," +
+                      std::to_string(k) + ")");
+      trackers.push_back(RunConfig(
+          ds, {HopSpec::Fanout(k), HopSpec::Fanout(k)}, max_epochs));
+    }
+    // (b) rate r for r in {0.1 .. 0.9}.
+    for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      names.push_back("rate(" + Table::Num(r, 1) + ")");
+      trackers.push_back(
+          RunConfig(ds, {HopSpec::Rate(r), HopSpec::Rate(r)}, max_epochs));
+    }
+    double best_overall = 0.0;
+    for (const auto& tracker : trackers) {
+      best_overall = std::max(best_overall, tracker.BestAccuracy());
+    }
+    const double target = target_fraction * best_overall;
+    for (size_t i = 0; i < names.size(); ++i) {
+      bench::EmitCurve(trackers[i], flags,
+                       "fig12_" + ds.name + "_" + names[i]);
+      table.AddRow({ds.name, names[i],
+                    Table::Num(100.0 * trackers[i].BestAccuracy(), 2),
+                    Table::Num(trackers[i].SecondsToAccuracy(target), 3),
+                    std::to_string(trackers[i].EpochsToAccuracy(target))});
+    }
+  }
+  bench::Emit(table, flags, "fig12_fanout_rate");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

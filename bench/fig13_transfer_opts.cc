@@ -1,0 +1,59 @@
+// Figure 13: performance gain of data transfer optimizations in CPU-GPU
+// heterogeneous training: Baseline (explicit extract-load, sequential)
+// vs Baseline+Z (zero-copy) vs Baseline+Z+P (zero-copy + full
+// pipelining). Expected shape: +Z ~1.7x over Baseline on average; +Z+P
+// adds ~1.3x more (paper §7.3.1-7.3.2).
+//
+// Usage: fig13_transfer_opts
+//   [--datasets=livejournal_s,ljlarge_s,ljlinks_s,enwiki_s] [--epochs=2]
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 2));
+
+  Table table("Figure 13: transfer optimization gains");
+  table.SetHeader({"dataset", "config", "epoch_s(virtual)",
+                   "speedup_vs_baseline"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(
+           flags, "livejournal_s,ljlarge_s,ljlinks_s,enwiki_s")) {
+    auto run = [&](const std::string& transfer, PipelineMode pipeline) {
+      TrainerConfig config;
+      config.batch_size = 512;
+      config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+      config.transfer = transfer;
+      config.pipeline = pipeline;
+      config.seed = 47;
+      Trainer trainer(ds, config);
+      double total = 0.0;
+      for (uint32_t e = 0; e < epochs; ++e) {
+        total += trainer.TrainEpoch().epoch_seconds;
+      }
+      return total / epochs;
+    };
+
+    const double baseline = run("extract-load", PipelineMode::kNone);
+    const double with_z = run("zero-copy", PipelineMode::kNone);
+    const double with_zp = run("zero-copy", PipelineMode::kOverlapBpDt);
+    table.AddRow({ds.name, "Baseline", Table::Num(baseline, 4), "1.00"});
+    table.AddRow({ds.name, "Baseline+Z", Table::Num(with_z, 4),
+                  Table::Num(baseline / with_z, 2)});
+    table.AddRow({ds.name, "Baseline+Z+P", Table::Num(with_zp, 4),
+                  Table::Num(baseline / with_zp, 2)});
+  }
+  bench::Emit(table, flags, "fig13_transfer_opts");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 14: pipeline ablation — No Pipe vs Pipeline-BP vs
+// Pipeline-BP-and-DT (all with zero-copy transfer). Expected shape:
+// monotone improvement, but bounded (<50% in most cases) because data
+// transfer remains the bottleneck stage (§7.3.2).
+//
+// Usage: fig14_pipeline_ablation [--datasets=livejournal_s,ljlinks_s]
+//                                [--epochs=2]
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 2));
+
+  Table table("Figure 14: pipeline ablation");
+  table.SetHeader({"dataset", "pipeline", "epoch_s(virtual)",
+                   "speedup_vs_no_pipe", "dt_share_of_busy%"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "livejournal_s,ljlinks_s")) {
+    double no_pipe_seconds = 0.0;
+    for (PipelineMode mode :
+         {PipelineMode::kNone, PipelineMode::kOverlapBp,
+          PipelineMode::kOverlapBpDt}) {
+      TrainerConfig config;
+      config.batch_size = 512;
+      config.hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+      config.transfer = "zero-copy";
+      config.pipeline = mode;
+      config.seed = 53;
+      Trainer trainer(ds, config);
+      double total = 0.0, dt_busy = 0.0, busy = 0.0;
+      for (uint32_t e = 0; e < epochs; ++e) {
+        EpochStats stats = trainer.TrainEpoch();
+        total += stats.epoch_seconds;
+        dt_busy += stats.extract_seconds + stats.load_seconds;
+        busy += stats.batch_prep_seconds + stats.extract_seconds +
+                stats.load_seconds + stats.nn_seconds;
+      }
+      total /= epochs;
+      if (mode == PipelineMode::kNone) no_pipe_seconds = total;
+      table.AddRow({ds.name, PipelineModeName(mode), Table::Num(total, 4),
+                    Table::Num(no_pipe_seconds / total, 2),
+                    Table::Num(100.0 * dt_busy / busy, 1)});
+    }
+  }
+  bench::Emit(table, flags, "fig14_pipeline_ablation");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 15: distribution of active (sampled) vertices per 256 KB
+// feature block within one batch, without and with GPU caching.
+// Expected shape: moderate per-block activity uncached; sharply lower
+// after caching removes the hot rows (the orange line of Fig 15).
+//
+// Block size is scaled to keep the paper's ~100 rows per 256 KB block
+// (602-dim float rows): --block_rows controls rows per block.
+//
+// Usage: fig15_active_blocks [--datasets=reddit_s,papers_s]
+//                            [--cache_ratio=0.2] [--block_rows=64]
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/block_activity.h"
+#include "transfer/feature_cache.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const double cache_ratio = flags.GetDouble("cache_ratio", 0.2);
+  const auto block_rows =
+      static_cast<uint64_t>(flags.GetInt("block_rows", 64));
+
+  Table table("Figure 15: active-vertex ratio per 256KB block (one batch)");
+  table.SetHeader({"dataset", "config", "blocks", "mean_active%",
+                   "p50_active%", "p90_active%", "max_active%"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "reddit_s,papers_s")) {
+    NeighborSampler sampler = NeighborSampler::WithFanouts({10, 5});
+    Rng rng(59);
+    std::vector<VertexId> batch(
+        ds.split.train.begin(),
+        ds.split.train.begin() +
+            std::min<size_t>(128, ds.split.train.size()));
+    SampledSubgraph sg = sampler.Sample(ds.graph, batch, rng);
+
+    Rng cache_rng(60);
+    FeatureCache cache = FeatureCache::PreSampling(
+        ds.graph, ds.split.train, sampler, 128, 32,
+        static_cast<uint64_t>(cache_ratio * ds.graph.num_vertices()),
+        cache_rng);
+
+    auto report = [&](const char* name, const FeatureCache* maybe_cache) {
+      BlockActivity activity = ComputeBlockActivity(
+          sg.input_vertices(), ds.graph.num_vertices(),
+          ds.features.BytesPerVertex(), maybe_cache,
+          block_rows * ds.features.BytesPerVertex());
+      std::vector<double> ratios = activity.active_ratio;
+      std::sort(ratios.begin(), ratios.end());
+      double sum = 0.0;
+      for (double r : ratios) sum += r;
+      auto pct = [&](double p) {
+        return ratios.empty()
+                   ? 0.0
+                   : ratios[static_cast<size_t>(p * (ratios.size() - 1))];
+      };
+      table.AddRow({ds.name, name, std::to_string(ratios.size()),
+                    Table::Num(100.0 * sum / std::max<size_t>(1,
+                                                              ratios.size()),
+                               1),
+                    Table::Num(100.0 * pct(0.5), 1),
+                    Table::Num(100.0 * pct(0.9), 1),
+                    Table::Num(100.0 * (ratios.empty() ? 0 : ratios.back()),
+                               1)});
+    };
+    report("no-cache", nullptr);
+    report("with-cache", &cache);
+  }
+  bench::Emit(table, flags, "fig15_active_blocks");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 16: ratio of blocks suitable for explicit (DMA) transfer as the
+// active-vertex threshold varies, with and without GPU caching. Expected
+// shape: the ratio collapses as the threshold grows, and caching pushes
+// it to near zero — hybrid transfer does not pay off for GNN training.
+//
+// Usage: fig16_block_threshold [--datasets=reddit_s,livejournal_s]
+//                              [--cache_ratio=0.2] [--block_rows=64]
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/block_activity.h"
+#include "transfer/feature_cache.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const double cache_ratio = flags.GetDouble("cache_ratio", 0.2);
+  const auto block_rows =
+      static_cast<uint64_t>(flags.GetInt("block_rows", 64));
+
+  Table table("Figure 16: explicit-transfer block ratio vs threshold");
+  table.SetHeader({"dataset", "config", "t=0.1", "t=0.3", "t=0.5",
+                   "t=0.7", "t=0.9"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,livejournal_s")) {
+    NeighborSampler sampler = NeighborSampler::WithFanouts({10, 5});
+    Rng rng(61);
+    std::vector<VertexId> batch(
+        ds.split.train.begin(),
+        ds.split.train.begin() +
+            std::min<size_t>(128, ds.split.train.size()));
+    SampledSubgraph sg = sampler.Sample(ds.graph, batch, rng);
+
+    Rng cache_rng(62);
+    FeatureCache cache = FeatureCache::PreSampling(
+        ds.graph, ds.split.train, sampler, 128, 32,
+        static_cast<uint64_t>(cache_ratio * ds.graph.num_vertices()),
+        cache_rng);
+
+    auto row = [&](const char* name, const FeatureCache* maybe_cache) {
+      BlockActivity activity = ComputeBlockActivity(
+          sg.input_vertices(), ds.graph.num_vertices(),
+          ds.features.BytesPerVertex(), maybe_cache,
+          block_rows * ds.features.BytesPerVertex());
+      std::vector<std::string> cells{ds.name, name};
+      for (double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        cells.push_back(
+            Table::Num(100.0 * activity.ExplicitBlockRatio(threshold), 1));
+      }
+      table.AddRow(cells);
+    };
+    row("no-cache", nullptr);
+    row("with-cache", &cache);
+  }
+  bench::Emit(table, flags, "fig16_block_threshold");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

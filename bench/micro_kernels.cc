@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) of the kernels the end-to-end
+// experiments are built from: dense matmul, sparse aggregation, L-hop
+// sampling, feature extraction, and the partitioners. Useful for
+// regression-tracking the substrate independently of the figures.
+#include <benchmark/benchmark.h>
+
+#include "graph/dataset.h"
+#include "graph/generators.h"
+#include "nn/aggregate.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metis_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/ops.h"
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(n, n), b(n, n), c;
+  XavierInit(a, rng);
+  XavierInit(b, rng);
+  for (auto _ : state) {
+    MatMul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MeanAggregate(benchmark::State& state) {
+  const uint32_t num_dst = static_cast<uint32_t>(state.range(0));
+  Rng rng(2);
+  SampleLayer layer;
+  layer.num_dst = num_dst;
+  layer.num_src = num_dst * 4;
+  layer.offsets.push_back(0);
+  for (uint32_t i = 0; i < num_dst; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      layer.neighbors.push_back(
+          static_cast<uint32_t>(rng.UniformInt(layer.num_src)));
+    }
+    layer.offsets.push_back(
+        static_cast<uint32_t>(layer.neighbors.size()));
+  }
+  Tensor src(layer.num_src, 64), out;
+  XavierInit(src, rng);
+  for (auto _ : state) {
+    MeanAggregateWithSelf(layer, src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * layer.num_edges());
+}
+BENCHMARK(BM_MeanAggregate)->Arg(512)->Arg(4096);
+
+void BM_NeighborSample(benchmark::State& state) {
+  CommunityGraph cg = GeneratePowerLawCommunity(8000, 8, 30.0, 3.0, 3);
+  NeighborSampler sampler = NeighborSampler::WithFanouts({25, 10});
+  Rng rng(4);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < static_cast<VertexId>(state.range(0)); ++v) {
+    seeds.push_back(v * 7 % 8000);
+  }
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    SampledSubgraph sg = sampler.Sample(cg.graph, seeds, rng);
+    edges += sg.TotalEdges();
+    benchmark::DoNotOptimize(sg.node_ids);
+  }
+  state.SetItemsProcessed(edges);
+}
+BENCHMARK(BM_NeighborSample)->Arg(128)->Arg(512);
+
+void BM_FeatureGather(benchmark::State& state) {
+  const VertexId n = 100000;
+  FeatureMatrix features(n, 64);
+  Rng rng(5);
+  std::vector<VertexId> vertices;
+  for (int i = 0; i < state.range(0); ++i) {
+    vertices.push_back(static_cast<VertexId>(rng.UniformInt(n)));
+  }
+  Tensor out;
+  for (auto _ : state) {
+    TransferEngine::Gather(vertices, features, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * vertices.size() * 64 * 4);
+}
+BENCHMARK(BM_FeatureGather)->Arg(1024)->Arg(16384);
+
+void BM_HashPartition(benchmark::State& state) {
+  CommunityGraph cg = GeneratePowerLawCommunity(
+      static_cast<VertexId>(state.range(0)), 8, 15.0, 2.0, 6);
+  VertexSplit split = MakeSplit(cg.graph.num_vertices(), 0.65, 0.10, 7);
+  HashPartitioner hash;
+  for (auto _ : state) {
+    PartitionResult result = hash.Partition({cg.graph, split}, 4, 8);
+    benchmark::DoNotOptimize(result.assignment);
+  }
+}
+BENCHMARK(BM_HashPartition)->Arg(4000)->Arg(16000);
+
+void BM_MetisPartition(benchmark::State& state) {
+  CommunityGraph cg = GeneratePowerLawCommunity(
+      static_cast<VertexId>(state.range(0)), 8, 15.0, 2.0, 9);
+  VertexSplit split = MakeSplit(cg.graph.num_vertices(), 0.65, 0.10, 10);
+  MetisPartitioner metis(MetisMode::kVE);
+  for (auto _ : state) {
+    PartitionResult result = metis.Partition({cg.graph, split}, 4, 11);
+    benchmark::DoNotOptimize(result.assignment);
+  }
+}
+BENCHMARK(BM_MetisPartition)->Arg(2000)->Arg(8000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gnndm
+
+BENCHMARK_MAIN();

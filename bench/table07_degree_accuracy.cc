@@ -1,0 +1,50 @@
+// Table 7: validation accuracy of high- vs low-degree vertices under
+// different fanouts (Arxiv in the paper). Expected shape: as fanout
+// grows, low-degree accuracy flat-to-falling, high-degree accuracy
+// rising — the motivation for hybrid fanout-rate sampling.
+//
+// Usage: table07_degree_accuracy [--datasets=arxiv_s] [--max_epochs=30]
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 30));
+
+  Table table("Table 7: accuracy of high/low degree vertices vs fanout");
+  table.SetHeader(
+      {"dataset", "fanout", "low_degree_acc%", "high_degree_acc%"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "arxiv_s")) {
+    for (uint32_t k : {4u, 8u, 16u, 32u}) {
+      TrainerConfig config;
+          config.batch_size = 512;
+      config.hops = {HopSpec::Fanout(k), HopSpec::Fanout(k)};
+      config.seed = 41;
+      Trainer trainer(ds, config);
+      trainer.TrainToConvergence(max_epochs, /*patience=*/8);
+      auto [low, high] = trainer.EvaluateByDegree(ds.split.val);
+      std::string fanout_label = "(";
+      fanout_label += std::to_string(k);
+      fanout_label += ",";
+      fanout_label += std::to_string(k);
+      fanout_label += ")";
+      table.AddRow({ds.name, fanout_label, Table::Num(100.0 * low, 2),
+                    Table::Num(100.0 * high, 2)});
+    }
+  }
+  bench::Emit(table, flags, "table07_degree_accuracy");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 8: fanout-based sampling vs the paper's fanout-rate hybrid
+// (§6.3.4): fanout for low-degree vertices, rate for high-degree ones.
+// Expected shape: hybrid matches the best fixed-fanout accuracy at a
+// clearly shorter time-to-target (the paper reports 1.74x vs (8,8)).
+//
+// Usage: table08_hybrid_sampling [--datasets=arxiv_s] [--max_epochs=40]
+//                                [--target=0.97]
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto max_epochs =
+      static_cast<uint32_t>(flags.GetInt("max_epochs", 60));
+  const double target_fraction = flags.GetDouble("target", 0.97);
+
+  Table table("Table 8: fanout vs fanout-rate hybrid sampling");
+  table.SetHeader(
+      {"dataset", "sampling", "best_acc%", "time_to_target_s"});
+
+  for (const Dataset& ds : bench::LoadAllOrDie(flags, "arxiv_s")) {
+    struct Case {
+      std::string name;
+      std::vector<HopSpec> hops;
+    };
+    std::vector<Case> cases;
+    for (auto [a, b] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {4, 4}, {8, 8}, {10, 15}, {10, 25}, {32, 32}}) {
+      cases.push_back({"fanout(" + std::to_string(a) + "," +
+                           std::to_string(b) + ")",
+                       {HopSpec::Fanout(a), HopSpec::Fanout(b)}});
+    }
+    // Hybrid (§6.3.4): fanout 16 below degree 32, rate 0.3 above it —
+    // full fanout treatment for low-degree vertices, proportional (and
+    // larger) sampling for hubs.
+    HopSpec hybrid = HopSpec::Hybrid(16, 0.3, 32);
+    cases.push_back({"hybrid(f=16,r=0.3,d<=32)", {hybrid, hybrid}});
+
+    std::vector<ConvergenceTracker> trackers;
+    double best_overall = 0.0;
+    for (const Case& c : cases) {
+      TrainerConfig config;
+          config.batch_size = 512;
+      config.hops = c.hops;
+      config.seed = 43;
+      Trainer trainer(ds, config);
+      trackers.push_back(
+          trainer.TrainToConvergence(max_epochs, /*patience=*/10));
+      best_overall = std::max(best_overall, trackers.back().BestAccuracy());
+    }
+    const double target = target_fraction * best_overall;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      table.AddRow({ds.name, cases[i].name,
+                    Table::Num(100.0 * trackers[i].BestAccuracy(), 2),
+                    Table::Num(trackers[i].SecondsToAccuracy(target), 3)});
+    }
+  }
+  bench::Emit(table, flags, "table08_hybrid_sampling");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

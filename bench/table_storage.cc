@@ -1,0 +1,57 @@
+// Storage footprint of every partitioning method (supporting §5.2's
+// discussion of PaGraph's redundant L-hop caching and Table 1's
+// hash-by-edges systems): owned vs replicated vertices, per-machine
+// feature/structure bytes, and the replication factor.
+//
+// Usage: table_storage [--datasets=reddit_s,products_s] [--parts=4]
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "partition/analyzer.h"
+#include "partition/edge_partitioner.h"
+
+namespace gnndm {
+namespace {
+
+void Run(const Flags& flags) {
+  const auto parts = static_cast<uint32_t>(flags.GetInt("parts", 4));
+
+  Table table("Storage per partitioning method (owned + replicated)");
+  table.SetHeader({"dataset", "method", "replication", "max_features_MB",
+                   "max_structure_MB", "halo_vertices"});
+
+  for (const Dataset& ds :
+       bench::LoadAllOrDie(flags, "reddit_s,products_s")) {
+    auto methods = bench::AllPartitioners();
+    methods.push_back(std::make_unique<EdgeHashPartitioner>());
+    for (const auto& method : methods) {
+      PartitionResult partition =
+          method->Partition({ds.graph, ds.split}, parts, 31);
+      StorageReport report = AnalyzeStorage(
+          ds.graph, partition, ds.features.dim() * 4);
+      uint64_t max_features = 0, max_structure = 0, halo = 0;
+      for (const auto& m : report.machines) {
+        max_features = std::max(max_features, m.feature_bytes);
+        max_structure = std::max(max_structure, m.structure_bytes);
+        halo += m.halo_vertices;
+      }
+      table.AddRow({ds.name, method->name(),
+                    Table::Num(report.replication_factor, 2),
+                    Table::Num(max_features / 1e6, 2),
+                    Table::Num(max_structure / 1e6, 2),
+                    std::to_string(halo)});
+    }
+  }
+  bench::Emit(table, flags, "table_storage");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::Run(flags);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Tables 1, 3 and 5: the paper's descriptive summaries, regenerated from
+// a registry so the taxonomy travels with the code. Table 1 catalogs the
+// surveyed systems; Table 3 the evaluated partitioning methods (each of
+// which this library implements); Table 5 the default batch/sampling
+// settings of representative systems.
+//
+// Usage: table_taxonomy [--csv_dir=DIR]
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace gnndm {
+namespace {
+
+void EmitTable1(const Flags& flags) {
+  Table table("Table 1: representative GNN systems (paper survey)");
+  table.SetHeader({"year", "system", "platform", "partitioning",
+                   "train", "sample_method", "transfer", "pipeline",
+                   "cache"});
+  struct Row {
+    const char* year;
+    const char* system;
+    const char* platform;
+    const char* partitioning;
+    const char* train;
+    const char* sample;
+    const char* transfer;
+    const char* pipeline;
+    const char* cache;
+  };
+  static constexpr Row kRows[] = {
+      {"2019", "DGL", "Multi-GPU", "N/A", "mini", "fanout",
+       "extract-load", "yes", "no"},
+      {"2019", "PyG", "Multi-GPU", "N/A", "mini", "fanout",
+       "extract-load", "no", "no"},
+      {"2019", "AliGraph", "CPU-cluster", "hash/metis/stream", "mini",
+       "fanout/rate", "N/A", "no", "no"},
+      {"2019", "NeuGraph", "Multi-GPU", "hash", "full", "N/A",
+       "extract-load", "no", "no"},
+      {"2020", "AGL", "CPU-cluster", "hash", "mini", "fanout", "N/A",
+       "no", "no"},
+      {"2020", "DistDGL", "CPU-cluster", "metis-extend", "mini",
+       "fanout/rate", "N/A", "yes", "no"},
+      {"2020", "ROC", "GPU-cluster", "hash", "full", "N/A",
+       "extract-load", "no", "no"},
+      {"2020", "PaGraph", "Multi-GPU", "streaming", "mini", "fanout",
+       "extract-load", "no", "yes"},
+      {"2021", "P3", "GPU-cluster", "hash", "mini", "fanout",
+       "extract-load", "no", "no"},
+      {"2021", "DistGNN", "CPU-cluster", "hash", "full", "N/A", "N/A",
+       "no", "no"},
+      {"2021", "DGCL", "GPU-cluster", "hash", "full", "N/A",
+       "extract-load", "no", "no"},
+      {"2021", "Dorylus", "Serverless", "hash", "full", "N/A", "N/A",
+       "yes", "no"},
+      {"2021", "Pytorch-direct", "Multi-GPU", "N/A", "mini", "fanout",
+       "gpu-direct", "yes", "no"},
+      {"2022", "GNNLab", "Multi-GPU", "N/A", "mini", "fanout",
+       "extract-load", "yes", "yes"},
+      {"2022", "ByteGNN", "CPU-cluster", "streaming", "mini", "fanout",
+       "N/A", "yes", "no"},
+      {"2022", "BNS-GCN", "GPU-cluster", "metis", "full", "rate",
+       "extract-load", "no", "no"},
+      {"2022", "DistDGLv2", "GPU-cluster", "metis-extend", "mini",
+       "fanout", "extract-load", "yes", "no"},
+      {"2022", "NeutronStar", "GPU-cluster", "hash", "full", "N/A",
+       "extract-load", "no", "no"},
+      {"2022", "Sancus", "GPU-cluster", "hash", "full", "N/A",
+       "extract-load", "no", "yes"},
+      {"2022", "SALIENT", "Multi-GPU", "N/A", "mini", "fanout",
+       "gpu-direct", "yes", "no"},
+      {"2023", "MariusGNN", "GPU-only", "hash", "mini", "fanout",
+       "extract-load", "yes", "no"},
+      {"2023", "Legion", "Multi-GPU", "metis/hash", "mini", "fanout",
+       "extract-load", "yes", "yes"},
+      {"2023", "SALIENT++", "GPU-cluster", "metis-extend", "mini",
+       "fanout", "gpu-direct", "yes", "yes"},
+      {"2023", "BGL", "Multi-GPU", "streaming", "mini", "fanout",
+       "extract-load", "yes", "yes"},
+  };
+  for (const Row& row : kRows) {
+    table.AddRow({row.year, row.system, row.platform, row.partitioning,
+                  row.train, row.sample, row.transfer, row.pipeline,
+                  row.cache});
+  }
+  bench::Emit(table, flags, "table01_systems");
+}
+
+void EmitTable3(const Flags& flags) {
+  Table table("Table 3: evaluated partitioning methods (all implemented)");
+  table.SetHeader({"method", "strategy", "reference_system",
+                   "gnndm_class"});
+  table.AddRow({"Hash", "randomly assign vertices", "P3",
+                "HashPartitioner"});
+  table.AddRow({"Metis-V", "multilevel + train-vertex balance", "(paper)",
+                "MetisPartitioner(kV)"});
+  table.AddRow({"Metis-VE", "+ vertex-degree balance", "DistDGL",
+                "MetisPartitioner(kVE)"});
+  table.AddRow({"Metis-VET", "+ val/test-vertex balance", "SALIENT++",
+                "MetisPartitioner(kVET)"});
+  table.AddRow({"Stream-V", "stream vertices, cache L-hop halo",
+                "PaGraph", "StreamVPartitioner"});
+  table.AddRow({"Stream-B", "stream BFS blocks, balance labels",
+                "ByteGNN", "StreamBPartitioner"});
+  bench::Emit(table, flags, "table03_partitioners");
+}
+
+void EmitTable5(const Flags& flags) {
+  Table table("Table 5: default batch/sampling settings of systems");
+  table.SetHeader({"system", "batch_size", "fanout", "sampling_rate"});
+  table.AddRow({"P3", "1000", "(25,10)", "N/A"});
+  table.AddRow({"DistDGL", "2000", "(25,10)/(15,10,5)", "N/A"});
+  table.AddRow({"PaGraph", "6000", "(2,2)", "N/A"});
+  table.AddRow({"GNNLab", "8000", "(10,25)/(15,10,5)", "N/A"});
+  table.AddRow({"ByteGNN", "512", "(10,5,3)", "N/A"});
+  table.AddRow({"BNS-GCN", "full", "N/A", "0.1"});
+  table.AddRow({"SALIENT++", "1024", "(25,15)/(15,10,5)", "N/A"});
+  bench::Emit(table, flags, "table05_defaults");
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  gnndm::EmitTable1(flags);
+  gnndm::EmitTable3(flags);
+  gnndm::EmitTable5(flags);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Distributed scaling: how simulated epoch time and remote traffic scale
+// with the number of workers (1, 2, 4, 8) under a good partitioning
+// (Metis-VET) vs a dependency-blind one (Hash) — the §5 trade-offs as a
+// scaling curve.
+//
+//   $ ./distributed_scaling [--dataset=products_s] [--epochs=3]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "dist/dist_trainer.h"
+#include "graph/dataset.h"
+#include "partition/analyzer.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metis_partitioner.h"
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  auto dataset =
+      gnndm::LoadDataset(flags.GetString("dataset", "products_s"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 3));
+
+  gnndm::TrainerConfig config;
+  config.batch_size = 512;
+  config.hops = {gnndm::HopSpec::Fanout(25), gnndm::HopSpec::Fanout(10)};
+
+  gnndm::HashPartitioner hash;
+  gnndm::MetisPartitioner metis(gnndm::MetisMode::kVET);
+
+  std::printf("%-10s %7s %12s %12s %10s %12s\n", "method", "workers",
+              "epoch_s", "speedup", "remote_MB", "replication");
+  for (const gnndm::Partitioner* method :
+       {static_cast<const gnndm::Partitioner*>(&hash),
+        static_cast<const gnndm::Partitioner*>(&metis)}) {
+    double single_worker_seconds = 0.0;
+    for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+      gnndm::PartitionResult partition =
+          method->Partition({dataset->graph, dataset->split}, workers, 3);
+      gnndm::StorageReport storage = gnndm::AnalyzeStorage(
+          dataset->graph, partition, dataset->features.dim() * 4);
+
+      gnndm::DistTrainer trainer(*dataset, partition, config);
+      double epoch_seconds = 0.0;
+      uint64_t remote_bytes = 0;
+      for (uint32_t e = 0; e < epochs; ++e) {
+        gnndm::DistEpochStats stats = trainer.TrainEpoch();
+        epoch_seconds += stats.epoch_seconds;
+        for (const gnndm::WorkerStats& w : stats.workers) {
+          remote_bytes += w.remote_feature_bytes + w.remote_structure_bytes;
+        }
+      }
+      epoch_seconds /= epochs;
+      if (workers == 1) single_worker_seconds = epoch_seconds;
+      std::printf("%-10s %7u %12.4f %11.2fx %10.2f %12.2f\n",
+                  method->name().c_str(), workers, epoch_seconds,
+                  single_worker_seconds / epoch_seconds,
+                  remote_bytes / 1e6 / epochs,
+                  storage.replication_factor);
+    }
+  }
+  std::printf(
+      "\nNote: speedup saturates as remote traffic grows with workers;\n"
+      "dependency-aware partitioning (Metis-VET) moves fewer bytes than\n"
+      "Hash at every scale (paper Fig 5).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Transfer tuning: find the best data-movement configuration for a
+// dataset by sweeping transfer engine x pipeline x cache policy/ratio —
+// the §7 design space as a runnable auto-tuner.
+//
+//   $ ./transfer_tuning [--dataset=livejournal_s] [--epochs=1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+
+int main(int argc, char** argv) {
+  gnndm::Flags flags(argc, argv);
+  auto dataset =
+      gnndm::LoadDataset(flags.GetString("dataset", "livejournal_s"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const auto epochs = static_cast<uint32_t>(flags.GetInt("epochs", 1));
+
+  struct Candidate {
+    std::string transfer;
+    gnndm::PipelineMode pipeline;
+    std::string cache_policy;
+    double cache_ratio;
+  };
+  std::vector<Candidate> candidates;
+  for (const char* transfer : {"extract-load", "zero-copy"}) {
+    for (gnndm::PipelineMode pipeline :
+         {gnndm::PipelineMode::kNone, gnndm::PipelineMode::kOverlapBpDt}) {
+      candidates.push_back({transfer, pipeline, "none", 0.0});
+      candidates.push_back({transfer, pipeline, "degree", 0.2});
+      candidates.push_back({transfer, pipeline, "presample", 0.2});
+    }
+  }
+
+  std::printf("%-13s %-11s %-10s %6s | %10s %10s\n", "transfer",
+              "pipeline", "cache", "ratio", "epoch_s", "MB_moved");
+  double best_seconds = 1e30;
+  std::string best_desc;
+  for (const Candidate& c : candidates) {
+    gnndm::TrainerConfig config;
+    config.batch_size = 512;
+    config.hops = {gnndm::HopSpec::Fanout(25), gnndm::HopSpec::Fanout(10)};
+    config.transfer = c.transfer;
+    config.pipeline = c.pipeline;
+    config.cache_policy = c.cache_policy;
+    config.cache_ratio = c.cache_ratio;
+    gnndm::Trainer trainer(*dataset, config);
+    double seconds = 0.0;
+    uint64_t bytes = 0;
+    for (uint32_t e = 0; e < epochs; ++e) {
+      gnndm::EpochStats stats = trainer.TrainEpoch();
+      seconds += stats.epoch_seconds;
+      bytes += stats.bytes_transferred;
+    }
+    seconds /= epochs;
+    std::printf("%-13s %-11s %-10s %6.2f | %10.4f %10.2f\n",
+                c.transfer.c_str(), gnndm::PipelineModeName(c.pipeline),
+                c.cache_policy.c_str(), c.cache_ratio, seconds,
+                bytes / 1e6 / epochs);
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best_desc = c.transfer + " + " +
+                  gnndm::PipelineModeName(c.pipeline) + " + cache(" +
+                  c.cache_policy + ")";
+    }
+  }
+  std::printf("\nbest configuration: %s (%.4fs/epoch)\n",
+              best_desc.c_str(), best_seconds);
+  return 0;
+}

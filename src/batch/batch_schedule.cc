@@ -1,0 +1,35 @@
+#include "batch/batch_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+AdaptiveBatchSchedule::AdaptiveBatchSchedule(uint32_t initial_size,
+                                             uint32_t max_size, double growth,
+                                             uint32_t epochs_per_step)
+    : initial_size_(initial_size),
+      max_size_(max_size),
+      growth_(growth),
+      epochs_per_step_(epochs_per_step) {
+  GNNDM_CHECK(initial_size_ > 0);
+  GNNDM_CHECK(max_size_ >= initial_size_);
+  GNNDM_CHECK(growth_ > 1.0);
+  GNNDM_CHECK(epochs_per_step_ > 0);
+}
+
+uint32_t AdaptiveBatchSchedule::BatchSizeForEpoch(uint32_t epoch) const {
+  uint32_t steps = epoch / epochs_per_step_;
+  double size = initial_size_ * std::pow(growth_, steps);
+  if (size >= static_cast<double>(max_size_)) return max_size_;
+  return static_cast<uint32_t>(size);
+}
+
+std::string AdaptiveBatchSchedule::name() const {
+  return "adaptive(" + std::to_string(initial_size_) + "->" +
+         std::to_string(max_size_) + ")";
+}
+
+}  // namespace gnndm

@@ -1,0 +1,55 @@
+#ifndef GNNDM_BATCH_BATCH_SCHEDULE_H_
+#define GNNDM_BATCH_BATCH_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gnndm {
+
+/// Maps an epoch index to a batch size. The paper's adaptive training
+/// method (§6.3.1) is one implementation; fixed sizes are the baseline.
+class BatchSizeSchedule {
+ public:
+  virtual ~BatchSizeSchedule() = default;
+  virtual uint32_t BatchSizeForEpoch(uint32_t epoch) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Constant batch size.
+class FixedBatchSchedule : public BatchSizeSchedule {
+ public:
+  explicit FixedBatchSchedule(uint32_t batch_size)
+      : batch_size_(batch_size) {}
+  uint32_t BatchSizeForEpoch(uint32_t /*epoch*/) const override {
+    return batch_size_;
+  }
+  std::string name() const override {
+    return "fixed(" + std::to_string(batch_size_) + ")";
+  }
+
+ private:
+  uint32_t batch_size_;
+};
+
+/// The paper's adaptive batch size (§6.3.1): start small so large
+/// gradient magnitudes find the descent direction quickly, then grow
+/// geometrically (× `growth` every `epochs_per_step` epochs) until
+/// `max_size`, where small gradient magnitudes settle into the optimum.
+class AdaptiveBatchSchedule : public BatchSizeSchedule {
+ public:
+  AdaptiveBatchSchedule(uint32_t initial_size, uint32_t max_size,
+                        double growth = 2.0, uint32_t epochs_per_step = 5);
+
+  uint32_t BatchSizeForEpoch(uint32_t epoch) const override;
+  std::string name() const override;
+
+ private:
+  uint32_t initial_size_;
+  uint32_t max_size_;
+  double growth_;
+  uint32_t epochs_per_step_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_BATCH_BATCH_SCHEDULE_H_

@@ -1,0 +1,61 @@
+#include "batch/batch_selector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+namespace {
+
+/// Chunks `ordered` into consecutive batches of `batch_size`.
+std::vector<std::vector<VertexId>> Chunk(const std::vector<VertexId>& ordered,
+                                         uint32_t batch_size) {
+  GNNDM_CHECK(batch_size > 0);
+  std::vector<std::vector<VertexId>> batches;
+  for (size_t begin = 0; begin < ordered.size(); begin += batch_size) {
+    size_t end = std::min(ordered.size(), begin + batch_size);
+    batches.emplace_back(ordered.begin() + begin, ordered.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> RandomBatchSelector::SelectEpoch(
+    const std::vector<VertexId>& train_vertices, uint32_t batch_size,
+    Rng& rng) const {
+  std::vector<VertexId> shuffled = train_vertices;
+  rng.Shuffle(shuffled);
+  return Chunk(shuffled, batch_size);
+}
+
+ClusterBatchSelector::ClusterBatchSelector(std::vector<uint32_t> cluster)
+    : cluster_(std::move(cluster)) {
+  for (uint32_t c : cluster_) num_clusters_ = std::max(num_clusters_, c + 1);
+}
+
+std::vector<std::vector<VertexId>> ClusterBatchSelector::SelectEpoch(
+    const std::vector<VertexId>& train_vertices, uint32_t batch_size,
+    Rng& rng) const {
+  // Bucket training vertices by cluster.
+  std::vector<std::vector<VertexId>> buckets(num_clusters_);
+  for (VertexId v : train_vertices) {
+    GNNDM_CHECK(v < cluster_.size());
+    buckets[cluster_[v]].push_back(v);
+  }
+  // Shuffle cluster visit order and each bucket's internal order, then
+  // concatenate — batches end up dominated by single clusters.
+  std::vector<uint32_t> order(num_clusters_);
+  for (uint32_t c = 0; c < num_clusters_; ++c) order[c] = c;
+  rng.Shuffle(order);
+  std::vector<VertexId> ordered;
+  ordered.reserve(train_vertices.size());
+  for (uint32_t c : order) {
+    rng.Shuffle(buckets[c]);
+    ordered.insert(ordered.end(), buckets[c].begin(), buckets[c].end());
+  }
+  return Chunk(ordered, batch_size);
+}
+
+}  // namespace gnndm

@@ -1,0 +1,63 @@
+#ifndef GNNDM_BATCH_BATCH_SELECTOR_H_
+#define GNNDM_BATCH_BATCH_SELECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace gnndm {
+
+/// Decides which training vertices form each mini-batch of an epoch
+/// (§6.3.2). Implementations return the whole epoch's batches at once so
+/// callers can iterate, pipeline, or inspect them.
+class BatchSelector {
+ public:
+  virtual ~BatchSelector() = default;
+
+  /// Splits `train_vertices` into batches of (up to) `batch_size`.
+  /// Deterministic in `rng`; every training vertex appears exactly once.
+  virtual std::vector<std::vector<VertexId>> SelectEpoch(
+      const std::vector<VertexId>& train_vertices, uint32_t batch_size,
+      Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random selection (DGL/PyG/DistDGL/GNNLab default): shuffle,
+/// then chunk. Unbiased — the paper's recommended choice.
+class RandomBatchSelector : public BatchSelector {
+ public:
+  std::vector<std::vector<VertexId>> SelectEpoch(
+      const std::vector<VertexId>& train_vertices, uint32_t batch_size,
+      Rng& rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Cluster-based selection (Cluster-GCN style, [64]): orders training
+/// vertices by a precomputed cluster assignment (shuffling cluster order
+/// and intra-cluster order each epoch) and chunks. Vertices in a batch
+/// are densely connected, so their sampled subgraphs share neighbors and
+/// the epoch's computation shrinks — at the cost of selection bias.
+class ClusterBatchSelector : public BatchSelector {
+ public:
+  /// `cluster[v]` assigns every graph vertex to a cluster id. Typically
+  /// produced by MetisPartitioner with one part per desired cluster.
+  explicit ClusterBatchSelector(std::vector<uint32_t> cluster);
+
+  std::vector<std::vector<VertexId>> SelectEpoch(
+      const std::vector<VertexId>& train_vertices, uint32_t batch_size,
+      Rng& rng) const override;
+  std::string name() const override { return "cluster"; }
+
+ private:
+  std::vector<uint32_t> cluster_;
+  uint32_t num_clusters_ = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_BATCH_BATCH_SELECTOR_H_

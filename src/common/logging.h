@@ -1,0 +1,54 @@
+#ifndef GNNDM_COMMON_LOGGING_H_
+#define GNNDM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gnndm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level: messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+/// Use via the GNNDM_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace gnndm
+
+/// GNNDM_LOG(INFO) << "epoch " << e << " loss " << loss;
+#define GNNDM_LOG(severity)                                      \
+  ::gnndm::internal_logging::LogMessage(                         \
+      ::gnndm::LogLevel::k##severity, __FILE__, __LINE__)        \
+      .stream()
+
+/// Fatal check: always on (also in release builds), aborts with a message.
+#define GNNDM_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      GNNDM_LOG(Error) << "Check failed: " #cond;                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // GNNDM_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gnndm {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToAscii() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i >= widths.size()) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      out << cell;
+      if (i + 1 < row.size()) out << ",";
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  file << ToCsv();
+  return Status::Ok();
+}
+
+}  // namespace gnndm

@@ -1,0 +1,49 @@
+#ifndef GNNDM_COMMON_TABLE_H_
+#define GNNDM_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gnndm {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// ASCII table (the format the bench binaries print, mirroring the paper's
+/// tables/figure series) or as CSV for downstream plotting.
+class Table {
+ public:
+  /// `title` is printed above the table, e.g. "Table 4: Model accuracy".
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for numeric cells: formats with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders the aligned ASCII form.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// numeric content; commas in cells are replaced with ';').
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`, creating parent directories is NOT attempted.
+  Status WriteCsv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_TABLE_H_

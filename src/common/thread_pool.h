@@ -1,0 +1,54 @@
+#ifndef GNNDM_COMMON_THREAD_POOL_H_
+#define GNNDM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gnndm {
+
+/// Fixed-size worker pool used for parallel sampling and feature extraction.
+/// Work items are plain std::function<void()>; ParallelFor partitions an
+/// index range into contiguous chunks. The pool is intentionally simple —
+/// GNN data preparation is embarrassingly parallel over batch vertices.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `body(begin, end)` over contiguous chunks of [0, n) across the
+  /// pool and blocks until done. `body` must be thread-safe.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& body);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,71 @@
+#include "core/async_loader.h"
+
+#include <utility>
+
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+
+AsyncBatchLoader::AsyncBatchLoader(const CsrGraph& graph,
+                                   const FeatureMatrix& features,
+                                   std::vector<std::vector<VertexId>> batches,
+                                   const NeighborSampler& sampler,
+                                   uint64_t seed, size_t queue_depth)
+    : graph_(graph),
+      features_(features),
+      batches_(std::move(batches)),
+      sampler_(sampler),
+      seed_(seed),
+      queue_depth_(queue_depth == 0 ? 1 : queue_depth),
+      producer_([this] { ProducerLoop(); }) {}
+
+AsyncBatchLoader::~AsyncBatchLoader() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  producer_.join();
+}
+
+void AsyncBatchLoader::ProducerLoop() {
+  for (uint32_t i = 0; i < batches_.size(); ++i) {
+    PreparedBatch prepared;
+    prepared.index = i;
+    prepared.seeds = batches_[i];
+    // Per-batch derived seed: the output stream does not depend on the
+    // consumer's pace or the queue depth.
+    Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    prepared.subgraph = sampler_.Sample(graph_, prepared.seeds, rng);
+    TransferEngine::Gather(prepared.subgraph.input_vertices(), features_,
+                           prepared.input);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] {
+        return stop_ || queue_.size() < queue_depth_;
+      });
+      if (stop_) return;
+      queue_.push_back(std::move(prepared));
+    }
+    not_empty_.notify_one();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+std::optional<PreparedBatch> AsyncBatchLoader::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return stop_ || done_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // done or stopping
+  PreparedBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return batch;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,78 @@
+#ifndef GNNDM_CORE_ASYNC_LOADER_H_
+#define GNNDM_CORE_ASYNC_LOADER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/tensor.h"
+
+namespace gnndm {
+
+/// One fully prepared training batch: the sampled L-hop subgraph plus
+/// its gathered input-feature block, ready for the NN.
+struct PreparedBatch {
+  uint32_t index = 0;
+  std::vector<VertexId> seeds;
+  SampledSubgraph subgraph;
+  Tensor input;
+};
+
+/// Actually-threaded batch preparation: a producer thread samples L-hop
+/// subgraphs and gathers their feature rows into a bounded queue while
+/// the caller consumes them — the real CPU-side overlap that the
+/// "Pipeline" column of Table 1 refers to (DGL/GNNLab dataloader
+/// workers). SimulatePipeline models the *device* overlap analytically;
+/// this class provides the host-side mechanism.
+///
+/// Determinism: batch i is sampled with Rng(seed ^ i), so the stream of
+/// prepared batches is identical regardless of queue depth or thread
+/// interleaving.
+class AsyncBatchLoader {
+ public:
+  /// Starts the producer thread immediately. `graph` and `features`
+  /// must outlive the loader. `batches` is one epoch's batch list.
+  AsyncBatchLoader(const CsrGraph& graph, const FeatureMatrix& features,
+                   std::vector<std::vector<VertexId>> batches,
+                   const NeighborSampler& sampler, uint64_t seed,
+                   size_t queue_depth = 4);
+  ~AsyncBatchLoader();
+
+  AsyncBatchLoader(const AsyncBatchLoader&) = delete;
+  AsyncBatchLoader& operator=(const AsyncBatchLoader&) = delete;
+
+  /// Blocks until the next batch is ready; std::nullopt after the last
+  /// batch of the epoch has been delivered.
+  std::optional<PreparedBatch> Next();
+
+  size_t num_batches() const { return batches_.size(); }
+
+ private:
+  void ProducerLoop();
+
+  const CsrGraph& graph_;
+  const FeatureMatrix& features_;
+  std::vector<std::vector<VertexId>> batches_;
+  NeighborSampler sampler_;
+  uint64_t seed_;
+  size_t queue_depth_;
+
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PreparedBatch> queue_;
+  bool done_ = false;  // producer finished
+  bool stop_ = false;  // destructor requested shutdown
+  std::thread producer_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_ASYNC_LOADER_H_

@@ -1,0 +1,46 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+
+namespace gnndm {
+
+void ConvergenceTracker::Record(uint32_t epoch, double seconds,
+                                double val_accuracy, double train_loss) {
+  history_.push_back({epoch, seconds, val_accuracy, train_loss});
+}
+
+double ConvergenceTracker::BestAccuracy() const {
+  double best = 0.0;
+  for (const Point& p : history_) best = std::max(best, p.val_accuracy);
+  return best;
+}
+
+double ConvergenceTracker::SecondsToAccuracy(double target) const {
+  for (const Point& p : history_) {
+    if (p.val_accuracy >= target) return p.seconds;
+  }
+  return -1.0;
+}
+
+int64_t ConvergenceTracker::EpochsToAccuracy(double target) const {
+  for (const Point& p : history_) {
+    if (p.val_accuracy >= target) return p.epoch;
+  }
+  return -1;
+}
+
+bool ConvergenceTracker::Converged(uint32_t patience,
+                                   double min_delta) const {
+  if (history_.size() <= patience) return false;
+  double best_before = 0.0;
+  const size_t cutoff = history_.size() - patience;
+  for (size_t i = 0; i < cutoff; ++i) {
+    best_before = std::max(best_before, history_[i].val_accuracy);
+  }
+  for (size_t i = cutoff; i < history_.size(); ++i) {
+    if (history_[i].val_accuracy > best_before + min_delta) return false;
+  }
+  return true;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,45 @@
+#ifndef GNNDM_CORE_CONVERGENCE_H_
+#define GNNDM_CORE_CONVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gnndm {
+
+/// Records the (virtual-time, validation-accuracy) trajectory of a
+/// training run and answers the questions the paper's convergence figures
+/// ask: best accuracy reached, and time/epochs to reach a target.
+class ConvergenceTracker {
+ public:
+  struct Point {
+    uint32_t epoch = 0;
+    double seconds = 0.0;  ///< cumulative virtual training time
+    double val_accuracy = 0.0;
+    double train_loss = 0.0;
+  };
+
+  void Record(uint32_t epoch, double seconds, double val_accuracy,
+              double train_loss);
+
+  const std::vector<Point>& history() const { return history_; }
+  bool empty() const { return history_.empty(); }
+
+  /// Highest validation accuracy seen so far.
+  double BestAccuracy() const;
+  /// Cumulative seconds at which `target` accuracy was first reached;
+  /// negative if never reached.
+  double SecondsToAccuracy(double target) const;
+  /// Epoch at which `target` accuracy was first reached; -1 if never.
+  int64_t EpochsToAccuracy(double target) const;
+
+  /// True once the best accuracy has not improved by more than
+  /// `min_delta` for `patience` consecutive recordings.
+  bool Converged(uint32_t patience, double min_delta = 1e-3) const;
+
+ private:
+  std::vector<Point> history_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_CONVERGENCE_H_

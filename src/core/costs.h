@@ -1,0 +1,39 @@
+#ifndef GNNDM_CORE_COSTS_H_
+#define GNNDM_CORE_COSTS_H_
+
+#include <cstddef>
+
+#include "sampling/sampled_subgraph.h"
+
+namespace gnndm {
+
+/// Estimates the floating-point work of one forward+backward pass of a
+/// conv-stack-plus-MLP model over a sampled subgraph. Used to advance the
+/// virtual GPU clock (DeviceModel::KernelSeconds); the constant factors
+/// only need to be consistent across configurations, since every §7
+/// result is a ratio.
+inline double EstimateGnnFlops(const SampledSubgraph& sg, size_t in_dim,
+                               size_t hidden_dim, size_t num_classes,
+                               uint32_t num_mlp_layers) {
+  double flops = 0.0;
+  size_t dim = in_dim;
+  for (uint32_t l = 0; l < sg.num_layers(); ++l) {
+    const SampleLayer& layer = sg.layers[l];
+    // Aggregation: one multiply-add per edge per input dimension.
+    flops += 2.0 * static_cast<double>(layer.num_edges()) * dim;
+    // Dense transform of every destination row.
+    flops += 2.0 * static_cast<double>(layer.num_dst) * dim * hidden_dim;
+    dim = hidden_dim;
+  }
+  const double seeds = static_cast<double>(sg.seeds().size());
+  for (uint32_t i = 0; i + 1 < num_mlp_layers; ++i) {
+    flops += 2.0 * seeds * hidden_dim * hidden_dim;
+  }
+  flops += 2.0 * seeds * hidden_dim * num_classes;
+  // Backward is roughly 2x forward; add parameter update noise factor.
+  return 3.0 * flops;
+}
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_COSTS_H_

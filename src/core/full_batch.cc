@@ -1,0 +1,141 @@
+#include "core/full_batch.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "core/costs.h"
+#include "tensor/ops.h"
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+
+FullBatchTrainer::FullBatchTrainer(const Dataset& dataset,
+                                   const TrainerConfig& config)
+    : dataset_(dataset), config_(config) {
+  ModelConfig model_config;
+  model_config.in_dim = dataset.features.dim();
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.num_classes = dataset.num_classes;
+  model_config.num_conv_layers = config.num_conv_layers;
+  model_config.num_mlp_layers = config.num_mlp_layers;
+  model_config.dropout = config.dropout;
+  model_config.seed = config.seed ^ 0x40DE1u;
+  model_ = MakeModel(config.model, model_config);
+  GNNDM_CHECK(model_ != nullptr);
+  optimizer_ = std::make_unique<Adam>(
+      model_->Parameters(), config.learning_rate, /*beta1=*/0.9f,
+      /*beta2=*/0.999f, /*epsilon=*/1e-8f, config.weight_decay);
+
+  // Build the full-graph "subgraph": every level is the identity vertex
+  // list, every layer the full adjacency in local (= global) ids.
+  const VertexId n = dataset.graph.num_vertices();
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0u);
+  SampleLayer full_layer;
+  full_layer.num_src = n;
+  full_layer.num_dst = n;
+  full_layer.offsets.reserve(n + 1);
+  full_layer.offsets.push_back(0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : dataset.graph.neighbors(v)) {
+      full_layer.neighbors.push_back(u);
+    }
+    full_layer.offsets.push_back(
+        static_cast<uint32_t>(full_layer.neighbors.size()));
+  }
+  const uint32_t num_layers = model_->num_hops();
+  GNNDM_CHECK(num_layers >= 1);
+  full_graph_.node_ids.assign(num_layers + 1, all);
+  full_graph_.layers.assign(num_layers, full_layer);
+
+  TransferEngine::Gather(all, dataset.features, input_);
+}
+
+EpochStats FullBatchTrainer::TrainEpoch() {
+  EpochStats stats;
+  stats.epoch = epoch_;
+  stats.batch_size = dataset_.graph.num_vertices();  // "full"
+  stats.involved_vertices =
+      static_cast<uint64_t>(dataset_.graph.num_vertices()) *
+      (model_->num_hops() + 1);
+  stats.involved_edges = full_graph_.TotalEdges();
+
+  // Features live on the GPU across epochs in full-batch systems; charge
+  // one DMA of the whole matrix per epoch as an amortized upper bound.
+  const uint64_t feature_bytes =
+      static_cast<uint64_t>(dataset_.graph.num_vertices()) *
+      dataset_.features.BytesPerVertex();
+  stats.load_seconds = config_.device.DmaSeconds(feature_bytes);
+  stats.bytes_transferred = feature_bytes;
+  stats.rows_requested = dataset_.graph.num_vertices();
+
+  const Tensor& logits = model_->Forward(full_graph_, input_, true);
+
+  // Mask the loss to the training vertices: gather their logit rows,
+  // compute the loss there, scatter gradients back.
+  const auto& train = dataset_.split.train;
+  Tensor train_logits(train.size(), logits.cols());
+  std::vector<int32_t> labels(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    auto src = logits.row(train[i]);
+    auto dst = train_logits.row(i);
+    for (size_t c = 0; c < logits.cols(); ++c) dst[c] = src[c];
+    labels[i] = dataset_.labels[train[i]];
+  }
+  Tensor train_grad;
+  stats.train_loss = SoftmaxCrossEntropy(train_logits, labels, train_grad);
+  Tensor d_logits(logits.rows(), logits.cols());
+  for (size_t i = 0; i < train.size(); ++i) {
+    auto src = train_grad.row(i);
+    auto dst = d_logits.row(train[i]);
+    for (size_t c = 0; c < logits.cols(); ++c) dst[c] = src[c];
+  }
+  model_->Backward(full_graph_, d_logits);
+  optimizer_->Step();
+
+  stats.nn_seconds = config_.device.NnStepSeconds(
+      EstimateGnnFlops(full_graph_, dataset_.features.dim(),
+                       config_.hidden_dim, dataset_.num_classes,
+                       config_.num_mlp_layers),
+      config_.num_conv_layers + config_.num_mlp_layers);
+  stats.epoch_seconds = stats.load_seconds + stats.nn_seconds;
+  total_seconds_ += stats.epoch_seconds;
+  ++epoch_;
+  return stats;
+}
+
+double FullBatchTrainer::Evaluate(const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return 0.0;
+  const Tensor& logits = model_->Forward(full_graph_, input_, false);
+  std::vector<int32_t> preds = ArgmaxRows(logits);
+  uint64_t correct = 0;
+  for (VertexId v : vertices) {
+    if (preds[v] == dataset_.labels[v]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(vertices.size());
+}
+
+const ConvergenceTracker& FullBatchTrainer::TrainToConvergence(
+    uint32_t max_epochs, uint32_t patience) {
+  for (uint32_t e = 0; e < max_epochs; ++e) {
+    EpochStats stats = TrainEpoch();
+    const double val_acc = Evaluate(dataset_.split.val);
+    tracker_.Record(stats.epoch, total_seconds_, val_acc, stats.train_loss);
+    if (tracker_.Converged(patience)) break;
+  }
+  return tracker_;
+}
+
+uint64_t FullBatchTrainer::PeakMemoryBytes() const {
+  const uint64_t n = dataset_.graph.num_vertices();
+  uint64_t bytes = n * dataset_.features.BytesPerVertex();  // features
+  // One activation matrix per conv layer plus logits, all |V| rows.
+  bytes += n * config_.hidden_dim * sizeof(float) * config_.num_conv_layers;
+  bytes += n * dataset_.num_classes * sizeof(float);
+  bytes += full_graph_.layers.empty()
+               ? 0
+               : full_graph_.layers[0].num_edges() * 8;  // adjacency
+  return bytes;
+}
+
+}  // namespace gnndm

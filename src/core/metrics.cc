@@ -1,0 +1,94 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+ClassificationMetrics::ClassificationMetrics(uint32_t num_classes)
+    : num_classes_(num_classes),
+      matrix_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  GNNDM_CHECK(num_classes > 0);
+}
+
+void ClassificationMetrics::Add(int32_t prediction, int32_t label) {
+  GNNDM_CHECK(prediction >= 0 &&
+              static_cast<uint32_t>(prediction) < num_classes_);
+  GNNDM_CHECK(label >= 0 && static_cast<uint32_t>(label) < num_classes_);
+  ++matrix_[static_cast<size_t>(label) * num_classes_ + prediction];
+  ++total_;
+}
+
+void ClassificationMetrics::AddAll(const std::vector<int32_t>& predictions,
+                                   const std::vector<int32_t>& labels) {
+  GNNDM_CHECK(predictions.size() == labels.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    Add(predictions[i], labels[i]);
+  }
+}
+
+double ClassificationMetrics::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  uint64_t correct = 0;
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    correct += confusion(c, c);
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ClassificationMetrics::Precision(uint32_t cls) const {
+  uint64_t predicted = 0;
+  for (uint32_t label = 0; label < num_classes_; ++label) {
+    predicted += confusion(label, cls);
+  }
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(confusion(cls, cls)) /
+                              static_cast<double>(predicted);
+}
+
+double ClassificationMetrics::Recall(uint32_t cls) const {
+  uint64_t actual = 0;
+  for (uint32_t pred = 0; pred < num_classes_; ++pred) {
+    actual += confusion(cls, pred);
+  }
+  return actual == 0 ? 0.0
+                     : static_cast<double>(confusion(cls, cls)) /
+                           static_cast<double>(actual);
+}
+
+double ClassificationMetrics::F1(uint32_t cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ClassificationMetrics::MacroF1() const {
+  double sum = 0.0;
+  for (uint32_t c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / num_classes_;
+}
+
+uint64_t ClassificationMetrics::confusion(uint32_t label,
+                                          uint32_t prediction) const {
+  GNNDM_CHECK(label < num_classes_ && prediction < num_classes_);
+  return matrix_[static_cast<size_t>(label) * num_classes_ + prediction];
+}
+
+std::string ClassificationMetrics::ConfusionToString() const {
+  std::ostringstream out;
+  out << "label\\pred";
+  for (uint32_t c = 0; c < num_classes_; ++c) out << "\t" << c;
+  out << "\n";
+  for (uint32_t label = 0; label < num_classes_; ++label) {
+    out << label;
+    for (uint32_t pred = 0; pred < num_classes_; ++pred) {
+      out << "\t" << confusion(label, pred);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gnndm

@@ -1,0 +1,46 @@
+#ifndef GNNDM_CORE_METRICS_H_
+#define GNNDM_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnndm {
+
+/// Multi-class classification metrics over a set of (prediction, label)
+/// pairs — the machinery behind the paper's accuracy tables, extended
+/// with the per-class view used for Table 7-style analyses.
+class ClassificationMetrics {
+ public:
+  explicit ClassificationMetrics(uint32_t num_classes);
+
+  /// Records one prediction. Both values must be in [0, num_classes).
+  void Add(int32_t prediction, int32_t label);
+  /// Records a batch of predictions.
+  void AddAll(const std::vector<int32_t>& predictions,
+              const std::vector<int32_t>& labels);
+
+  uint64_t total() const { return total_; }
+  /// Overall accuracy (0 when nothing recorded).
+  double Accuracy() const;
+  /// Per-class precision/recall/F1 (0 when the class never occurs).
+  double Precision(uint32_t cls) const;
+  double Recall(uint32_t cls) const;
+  double F1(uint32_t cls) const;
+  /// Unweighted mean of per-class F1 ("macro F1").
+  double MacroF1() const;
+  /// confusion(i, j): count of label i predicted as j.
+  uint64_t confusion(uint32_t label, uint32_t prediction) const;
+
+  /// Renders the confusion matrix as an aligned ASCII table for logging.
+  std::string ConfusionToString() const;
+
+ private:
+  uint32_t num_classes_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> matrix_;  // num_classes x num_classes, row=label
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_METRICS_H_

@@ -1,0 +1,245 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/async_loader.h"
+#include "core/costs.h"
+#include "graph/stats.h"
+#include "partition/metis_partitioner.h"
+#include "tensor/ops.h"
+
+namespace gnndm {
+
+Trainer::Trainer(const Dataset& dataset, const TrainerConfig& config)
+    : dataset_(dataset),
+      config_(config),
+      rng_(config.seed),
+      sampler_(config.hops) {
+  ModelConfig model_config;
+  model_config.in_dim = dataset.features.dim();
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.num_classes = dataset.num_classes;
+  model_config.num_conv_layers = config.num_conv_layers;
+  model_config.num_mlp_layers = config.num_mlp_layers;
+  model_config.dropout = config.dropout;
+  model_config.seed = config.seed ^ 0x40DE1u;
+  model_ = MakeModel(config.model, model_config);
+  GNNDM_CHECK(model_ != nullptr);
+  GNNDM_CHECK(model_->num_hops() == 0 ||
+              model_->num_hops() == sampler_.num_layers());
+  optimizer_ = std::make_unique<Adam>(
+      model_->Parameters(), config.learning_rate, /*beta1=*/0.9f,
+      /*beta2=*/0.999f, /*epsilon=*/1e-8f, config.weight_decay);
+
+  if (config.batch_selector == "cluster") {
+    selector_ = std::make_unique<ClusterBatchSelector>(MetisCluster(
+        dataset.graph, config.cluster_count, config.seed ^ 0xC1u));
+  } else {
+    selector_ = std::make_unique<RandomBatchSelector>();
+  }
+
+  if (config.adaptive_batch) {
+    schedule_ = std::make_unique<AdaptiveBatchSchedule>(
+        config.adaptive_initial, config.adaptive_max, config.adaptive_growth,
+        config.adaptive_epochs_per_step);
+  } else {
+    schedule_ = std::make_unique<FixedBatchSchedule>(config.batch_size);
+  }
+
+  transfer_ = MakeTransferEngine(config.transfer, config.device);
+  GNNDM_CHECK(transfer_ != nullptr);
+
+  if (config.cache_policy != "none" && config.cache_ratio > 0.0) {
+    const auto capacity = static_cast<uint64_t>(
+        config.cache_ratio * dataset.graph.num_vertices());
+    if (config.cache_policy == "degree") {
+      cache_ = FeatureCache::DegreeBased(dataset.graph, capacity);
+    } else if (config.cache_policy == "presample") {
+      Rng presample_rng(config.seed ^ 0xCAC4Eu);
+      // Pre-sample roughly two epochs worth of batches (GNNLab runs a
+      // short profiling phase before training).
+      const auto batches_per_epoch = static_cast<uint32_t>(
+          (dataset.split.train.size() + config.batch_size - 1) /
+          std::max<uint32_t>(1, config.batch_size));
+      cache_ = FeatureCache::PreSampling(
+          dataset.graph, dataset.split.train, sampler_, config.batch_size,
+          std::max<uint32_t>(8, 2 * batches_per_epoch), capacity,
+          presample_rng);
+    } else {
+      GNNDM_LOG(Warning) << "unknown cache policy '" << config.cache_policy
+                         << "', running uncached";
+    }
+    has_cache_ = cache_.capacity_rows() > 0;
+  }
+}
+
+StageTimes Trainer::RunBatch(const std::vector<VertexId>& batch,
+                             EpochStats& stats) {
+  // --- Batch preparation. GNN models need L-hop sampling; the MLP/DNN
+  // baseline (num_hops == 0) trains on independent samples, so its batch
+  // is just the seed rows — the Fig 2 contrast. ---
+  SampledSubgraph sg;
+  if (model_->num_hops() == 0) {
+    sg.node_ids.push_back(batch);
+  } else {
+    sg = sampler_.Sample(dataset_.graph, batch, rng_);
+  }
+  Tensor input;
+  return RunPreparedBatch(batch, sg, input, /*input_ready=*/false, stats);
+}
+
+StageTimes Trainer::RunPreparedBatch(const std::vector<VertexId>& batch,
+                                     const SampledSubgraph& sg,
+                                     Tensor& input, bool input_ready,
+                                     EpochStats& stats) {
+  StageTimes times;
+  times.batch_prep = config_.device.SampleSeconds(
+      model_->num_hops() == 0 ? batch.size() : sg.TotalEdges());
+  stats.involved_vertices += sg.TotalVertices();
+  stats.involved_edges += sg.TotalEdges();
+
+  // --- Data transferring: move input feature rows host -> device. ---
+  const FeatureCache* cache = has_cache_ ? &cache_ : nullptr;
+  TransferStats transfer;
+  if (input_ready) {
+    // Rows were staged by the async loader; only account the cost.
+    transfer = transfer_->Cost(sg.input_vertices(), dataset_.features,
+                               cache);
+  } else {
+    transfer = transfer_->Transfer(sg.input_vertices(), dataset_.features,
+                                   cache, input);
+  }
+  times.data_transfer = transfer.TotalSeconds();
+  stats.extract_seconds += transfer.extract_seconds;
+  stats.load_seconds += transfer.transfer_seconds;
+  stats.bytes_transferred += transfer.bytes_moved;
+  stats.rows_from_cache += transfer.rows_from_cache;
+  stats.rows_requested += transfer.rows_requested;
+
+  // --- NN computation: real forward/backward, virtual GPU time. ---
+  const Tensor& logits = model_->Forward(sg, input, /*train=*/true);
+  std::vector<int32_t> labels(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    labels[i] = dataset_.labels[batch[i]];
+  }
+  Tensor d_logits;
+  const double loss = SoftmaxCrossEntropy(logits, labels, d_logits);
+  model_->Backward(sg, d_logits);
+  optimizer_->Step();
+  stats.train_loss += loss * static_cast<double>(batch.size());
+  times.nn_compute = config_.device.NnStepSeconds(
+      EstimateGnnFlops(sg, dataset_.features.dim(), config_.hidden_dim,
+                       dataset_.num_classes, config_.num_mlp_layers),
+      config_.num_conv_layers + config_.num_mlp_layers);
+  return times;
+}
+
+EpochStats Trainer::TrainEpoch() {
+  EpochStats stats;
+  stats.epoch = epoch_;
+  stats.batch_size = schedule_->BatchSizeForEpoch(epoch_);
+  auto batches = selector_->SelectEpoch(dataset_.split.train,
+                                        stats.batch_size, rng_);
+  std::vector<StageTimes> stage_times;
+  stage_times.reserve(batches.size());
+  if (config_.async_batch_loading && model_->num_hops() > 0) {
+    AsyncBatchLoader loader(dataset_.graph, dataset_.features,
+                            std::move(batches), sampler_,
+                            config_.seed ^ (0xA51Cull + epoch_),
+                            config_.async_queue_depth);
+    while (auto prepared = loader.Next()) {
+      stage_times.push_back(RunPreparedBatch(prepared->seeds,
+                                             prepared->subgraph,
+                                             prepared->input,
+                                             /*input_ready=*/true, stats));
+    }
+  } else {
+    for (const auto& batch : batches) {
+      stage_times.push_back(RunBatch(batch, stats));
+    }
+  }
+  PipelineResult pipeline = SimulatePipeline(stage_times, config_.pipeline);
+  stats.epoch_seconds = pipeline.total_seconds;
+  stats.batch_prep_seconds = pipeline.bp_busy;
+  stats.nn_seconds = pipeline.nn_busy;
+  if (!dataset_.split.train.empty()) {
+    stats.train_loss /= static_cast<double>(dataset_.split.train.size());
+  }
+  total_seconds_ += stats.epoch_seconds;
+  ++epoch_;
+  return stats;
+}
+
+double Trainer::EvaluateOn(const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return 0.0;
+  uint64_t correct = 0;
+  const uint32_t eval_batch = 1024;
+  for (size_t begin = 0; begin < vertices.size(); begin += eval_batch) {
+    const size_t end = std::min(vertices.size(), begin + eval_batch);
+    std::vector<VertexId> batch(vertices.begin() + begin,
+                                vertices.begin() + end);
+    SampledSubgraph sg;
+    if (model_->num_hops() == 0) {
+      sg.node_ids.push_back(batch);
+    } else {
+      sg = sampler_.Sample(dataset_.graph, batch, rng_);
+    }
+    Tensor input;
+    TransferEngine::Gather(sg.input_vertices(), dataset_.features, input);
+    const Tensor& logits = model_->Forward(sg, input, /*train=*/false);
+    std::vector<int32_t> preds = ArgmaxRows(logits);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (preds[i] == dataset_.labels[batch[i]]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(vertices.size());
+}
+
+double Trainer::Evaluate(const std::vector<VertexId>& vertices) {
+  return EvaluateOn(vertices);
+}
+
+ClassificationMetrics Trainer::EvaluateDetailed(
+    const std::vector<VertexId>& vertices) {
+  ClassificationMetrics metrics(dataset_.num_classes);
+  const uint32_t eval_batch = 1024;
+  for (size_t begin = 0; begin < vertices.size(); begin += eval_batch) {
+    const size_t end = std::min(vertices.size(), begin + eval_batch);
+    std::vector<VertexId> batch(vertices.begin() + begin,
+                                vertices.begin() + end);
+    SampledSubgraph sg;
+    if (model_->num_hops() == 0) {
+      sg.node_ids.push_back(batch);
+    } else {
+      sg = sampler_.Sample(dataset_.graph, batch, rng_);
+    }
+    Tensor input;
+    TransferEngine::Gather(sg.input_vertices(), dataset_.features, input);
+    const Tensor& logits = model_->Forward(sg, input, /*train=*/false);
+    std::vector<int32_t> preds = ArgmaxRows(logits);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      metrics.Add(preds[i], dataset_.labels[batch[i]]);
+    }
+  }
+  return metrics;
+}
+
+std::pair<double, double> Trainer::EvaluateByDegree(
+    const std::vector<VertexId>& vertices) {
+  DegreeClasses classes = SplitByDegree(dataset_.graph, vertices);
+  return {EvaluateOn(classes.low), EvaluateOn(classes.high)};
+}
+
+const ConvergenceTracker& Trainer::TrainToConvergence(uint32_t max_epochs,
+                                                      uint32_t patience) {
+  for (uint32_t e = 0; e < max_epochs; ++e) {
+    EpochStats stats = TrainEpoch();
+    const double val_acc = Evaluate(dataset_.split.val);
+    tracker_.Record(stats.epoch, total_seconds_, val_acc, stats.train_loss);
+    if (tracker_.Converged(patience)) break;
+  }
+  return tracker_;
+}
+
+}  // namespace gnndm

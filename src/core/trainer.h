@@ -1,0 +1,156 @@
+#ifndef GNNDM_CORE_TRAINER_H_
+#define GNNDM_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/batch_schedule.h"
+#include "batch/batch_selector.h"
+#include "core/convergence.h"
+#include "core/metrics.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/device_model.h"
+#include "transfer/feature_cache.h"
+#include "transfer/pipeline.h"
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+
+/// Everything configurable about a single-worker training run — one knob
+/// per technique the paper evaluates.
+struct TrainerConfig {
+  // Model (§4: GCN / GraphSage, hidden 128 scaled down).
+  std::string model = "gcn";
+  size_t hidden_dim = 32;
+  uint32_t num_conv_layers = 2;
+  uint32_t num_mlp_layers = 2;
+  double dropout = 0.1;
+  float learning_rate = 0.01f;
+  float weight_decay = 0.0f;  ///< decoupled L2 (AdamW-style)
+
+  // Batch preparation (§6).
+  uint32_t batch_size = 512;
+  std::vector<HopSpec> hops = {HopSpec::Fanout(25), HopSpec::Fanout(10)};
+  /// "random" or "cluster".
+  std::string batch_selector = "random";
+  uint32_t cluster_count = 32;  ///< clusters when batch_selector=="cluster"
+  /// Optional adaptive batch size (overrides batch_size when set).
+  bool adaptive_batch = false;
+  uint32_t adaptive_initial = 128;
+  uint32_t adaptive_max = 4096;
+  double adaptive_growth = 2.0;
+  uint32_t adaptive_epochs_per_step = 3;
+
+  // Data transferring (§7).
+  std::string transfer = "extract-load";  ///< "zero-copy", "hybrid"
+  PipelineMode pipeline = PipelineMode::kNone;
+  /// Prepare batches on a real background thread (AsyncBatchLoader)
+  /// instead of inline — the host-side mechanism behind pipeline
+  /// overlap. Numerically equivalent training, different RNG stream.
+  bool async_batch_loading = false;
+  size_t async_queue_depth = 4;
+  /// "none", "degree", or "presample".
+  std::string cache_policy = "none";
+  double cache_ratio = 0.0;  ///< fraction of vertices cached on GPU
+  /// Distributed-only: P3-style hybrid parallelism [10] — remote vertices
+  /// contribute layer-1 *partial activations* (hidden_dim floats) over
+  /// the network instead of raw feature rows. Pays off exactly when
+  /// hidden_dim < feature_dim.
+  bool p3_feature_parallel = false;
+  DeviceModel device;
+
+  uint64_t seed = 11;
+};
+
+/// Per-epoch accounting (virtual time + data-management volumes).
+struct EpochStats {
+  uint32_t epoch = 0;
+  uint32_t batch_size = 0;
+  double train_loss = 0.0;
+  /// Virtual wall time of the epoch after pipeline scheduling.
+  double epoch_seconds = 0.0;
+  /// Per-stage busy totals (the Fig 2 breakdown).
+  double batch_prep_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double load_seconds = 0.0;
+  double nn_seconds = 0.0;
+  /// Data-management volumes.
+  uint64_t involved_vertices = 0;  ///< Table 6 "Involved #V"
+  uint64_t involved_edges = 0;     ///< Table 6 "Involved #E"
+  uint64_t bytes_transferred = 0;
+  uint64_t rows_from_cache = 0;
+  uint64_t rows_requested = 0;
+};
+
+/// End-to-end single-worker mini-batch GNN trainer: batch selection →
+/// L-hop sampling → feature transfer (simulated device) → real NN
+/// forward/backward → optimizer step, with per-stage accounting.
+class Trainer {
+ public:
+  /// `dataset` must outlive the trainer.
+  Trainer(const Dataset& dataset, const TrainerConfig& config);
+
+  /// Runs one epoch over the training split; returns its stats and
+  /// appends virtual time to the cumulative clock.
+  EpochStats TrainEpoch();
+
+  /// Sampled-inference accuracy over `vertices` (e.g. the val split).
+  double Evaluate(const std::vector<VertexId>& vertices);
+
+  /// Full per-class metrics (confusion matrix, precision/recall/F1) over
+  /// `vertices` — the machinery behind Table 7-style breakdowns.
+  ClassificationMetrics EvaluateDetailed(
+      const std::vector<VertexId>& vertices);
+
+  /// Trains until Converged(patience) or `max_epochs`, recording the
+  /// validation trajectory. Returns the tracker.
+  const ConvergenceTracker& TrainToConvergence(uint32_t max_epochs,
+                                               uint32_t patience = 10);
+
+  const ConvergenceTracker& tracker() const { return tracker_; }
+  double total_virtual_seconds() const { return total_seconds_; }
+  GnnModel& model() { return *model_; }
+  uint32_t epochs_run() const { return epoch_; }
+
+  /// Per-degree-class accuracy (Table 7): evaluates `vertices` split at
+  /// the median degree. Returns {low_acc, high_acc}.
+  std::pair<double, double> EvaluateByDegree(
+      const std::vector<VertexId>& vertices);
+
+ private:
+  /// One batch: sample, transfer, forward/backward, step. Returns stage
+  /// times and updates `stats`.
+  StageTimes RunBatch(const std::vector<VertexId>& batch, EpochStats& stats);
+
+  /// Shared tail of RunBatch once the subgraph (and possibly the input
+  /// block) exists: transfer accounting + NN step.
+  StageTimes RunPreparedBatch(const std::vector<VertexId>& batch,
+                              const SampledSubgraph& sg, Tensor& input,
+                              bool input_ready, EpochStats& stats);
+
+  double EvaluateOn(const std::vector<VertexId>& vertices);
+
+  const Dataset& dataset_;
+  TrainerConfig config_;
+  Rng rng_;
+  NeighborSampler sampler_;
+  std::unique_ptr<GnnModel> model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<BatchSelector> selector_;
+  std::unique_ptr<BatchSizeSchedule> schedule_;
+  std::unique_ptr<TransferEngine> transfer_;
+  FeatureCache cache_;
+  bool has_cache_ = false;
+  ConvergenceTracker tracker_;
+  double total_seconds_ = 0.0;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_TRAINER_H_

@@ -1,0 +1,97 @@
+#ifndef GNNDM_DIST_DIST_TRAINER_H_
+#define GNNDM_DIST_DIST_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/convergence.h"
+#include "core/trainer.h"
+#include "dist/network_model.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/feature_cache.h"
+
+namespace gnndm {
+
+/// Cumulative per-worker ledger across an epoch.
+struct WorkerStats {
+  double seconds = 0.0;  ///< virtual busy time (compute + comm + transfer)
+  uint64_t remote_feature_bytes = 0;
+  uint64_t remote_structure_bytes = 0;
+  uint64_t batches = 0;
+  uint64_t sampled_edges = 0;
+  uint64_t rows_from_cache = 0;  ///< per-worker GPU cache hits
+};
+
+/// Per-epoch summary of a distributed run.
+struct DistEpochStats {
+  uint32_t epoch = 0;
+  double train_loss = 0.0;
+  /// Synchronous data-parallel epoch time: sum over rounds of the
+  /// slowest worker's round time (barrier per model update).
+  double epoch_seconds = 0.0;
+  std::vector<WorkerStats> workers;
+};
+
+/// Simulated synchronous data-parallel mini-batch GNN training over the
+/// workers defined by a PartitionResult. Each worker trains only on the
+/// training vertices its partition owns (so partitioning bias reaches
+/// batch composition, the effect behind Fig 7 / Table 4); remote L-hop
+/// expansions and feature fetches are charged to the network model, with
+/// PaGraph-style halos counting as local. Gradients are averaged across
+/// workers every round, matching DistDGL-style training.
+class DistTrainer {
+ public:
+  DistTrainer(const Dataset& dataset, const PartitionResult& partition,
+              const TrainerConfig& config, const NetworkModel& network = {});
+
+  DistEpochStats TrainEpoch();
+  double Evaluate(const std::vector<VertexId>& vertices);
+  const ConvergenceTracker& TrainToConvergence(uint32_t max_epochs,
+                                               uint32_t patience = 10);
+
+  const ConvergenceTracker& tracker() const { return tracker_; }
+  double total_virtual_seconds() const { return total_seconds_; }
+  uint32_t num_workers() const { return partition_.num_parts; }
+
+ private:
+  struct Worker {
+    std::vector<VertexId> local_train;
+    std::unordered_set<VertexId> halo;
+    /// Per-worker GPU feature cache (SALIENT++/Legion combine distributed
+    /// training with caching); built from the worker's own training
+    /// vertices when config.cache_policy is set.
+    FeatureCache cache;
+    bool has_cache = false;
+    Rng rng{0};
+  };
+
+  bool IsLocal(VertexId v, uint32_t worker) const;
+  /// Trains one batch on `worker`; accumulates into the shared model's
+  /// gradients (no step) and returns the worker's virtual batch time.
+  double RunWorkerBatch(uint32_t worker, const std::vector<VertexId>& batch,
+                        DistEpochStats& stats, double& loss_sum);
+
+  const Dataset& dataset_;
+  PartitionResult partition_;
+  TrainerConfig config_;
+  NetworkModel network_;
+  NeighborSampler sampler_;
+  std::unique_ptr<GnnModel> model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<TransferEngine> transfer_;
+  std::vector<Worker> workers_;
+  Rng rng_;
+  ConvergenceTracker tracker_;
+  double total_seconds_ = 0.0;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_DIST_DIST_TRAINER_H_

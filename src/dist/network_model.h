@@ -1,0 +1,24 @@
+#ifndef GNNDM_DIST_NETWORK_MODEL_H_
+#define GNNDM_DIST_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace gnndm {
+
+/// Analytic cost model of the cluster interconnect (the paper's testbed:
+/// 10 Gbps Ethernet between the 4 GPU nodes, §4). Drives the virtual
+/// clock of the simulated distributed trainer.
+struct NetworkModel {
+  double bandwidth_bytes_per_sec = 1.25e9;  ///< 10 Gbps
+  double request_latency_sec = 100e-6;      ///< per remote request batch
+
+  /// Seconds to move `bytes` split across `requests` request batches.
+  double Seconds(uint64_t bytes, uint64_t requests) const {
+    return static_cast<double>(requests) * request_latency_sec +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_DIST_NETWORK_MODEL_H_

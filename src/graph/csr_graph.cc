@@ -1,0 +1,90 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gnndm {
+
+Result<CsrGraph> CsrGraph::FromEdges(VertexId num_vertices,
+                                     std::vector<Edge> edges,
+                                     bool symmetrize) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+  }
+  if (symmetrize) {
+    size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+
+  // Drop self loops.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.src == e.dst; }),
+              edges.end());
+
+  // Counting sort by destination (CSR is over in-neighbors of dst).
+  CsrGraph g;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) ++g.offsets_[e.dst + 1];
+  for (size_t v = 1; v < g.offsets_.size(); ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  g.adjacency_.resize(edges.size());
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.dst]++] = e.src;
+  }
+
+  // Sort each adjacency list and remove duplicates, compacting in place.
+  EdgeId write = 0;
+  std::vector<EdgeId> new_offsets(g.offsets_.size(), 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    EdgeId begin = g.offsets_[v];
+    EdgeId end = g.offsets_[v + 1];
+    std::sort(g.adjacency_.begin() + begin, g.adjacency_.begin() + end);
+    EdgeId out = write;
+    for (EdgeId i = begin; i < end; ++i) {
+      if (i == begin || g.adjacency_[i] != g.adjacency_[i - 1]) {
+        g.adjacency_[out++] = g.adjacency_[i];
+      }
+    }
+    new_offsets[v + 1] = out;
+    write = out;
+  }
+  g.adjacency_.resize(write);
+  g.offsets_ = std::move(new_offsets);
+  return g;
+}
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), u);
+}
+
+CsrGraph CsrGraph::InducedSubgraph(
+    const std::vector<VertexId>& vertices) const {
+  std::unordered_map<VertexId, VertexId> local_id;
+  local_id.reserve(vertices.size() * 2);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local_id.emplace(vertices[i], static_cast<VertexId>(i));
+  }
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId u : neighbors(vertices[i])) {
+      auto it = local_id.find(u);
+      if (it != local_id.end()) {
+        edges.push_back({it->second, static_cast<VertexId>(i)});
+      }
+    }
+  }
+  // Input adjacency is already deduplicated; the mapping preserves that.
+  auto result = FromEdges(static_cast<VertexId>(vertices.size()),
+                          std::move(edges), /*symmetrize=*/false);
+  return std::move(result).value();
+}
+
+}  // namespace gnndm

@@ -1,0 +1,85 @@
+#ifndef GNNDM_GRAPH_CSR_GRAPH_H_
+#define GNNDM_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gnndm {
+
+/// Vertex identifier. Scaled datasets stay well below 2^32 vertices.
+using VertexId = uint32_t;
+/// Edge identifier / edge counts (papers_s-scale graphs exceed 2^32 edges
+/// in the original paper, so edge arithmetic is 64-bit throughout).
+using EdgeId = uint64_t;
+
+/// An edge in coordinate (COO) form, used while building graphs.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+};
+
+/// Immutable compressed-sparse-row graph. `neighbors(v)` returns the
+/// *in-neighbors* of `v` — the direction GNN aggregation and L-hop
+/// neighbor sampling traverse (a vertex pulls features from its
+/// in-neighbors, Eq. 1 of the paper). For the symmetric graphs produced by
+/// the generators, in- and out-neighborhoods coincide.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from a COO edge list over `num_vertices` vertices. Each edge
+  /// (src, dst) is recorded as "src is an in-neighbor of dst".
+  /// If `symmetrize` is true the reverse edge is added too. Self loops and
+  /// duplicate edges are removed; adjacency lists are sorted.
+  static Result<CsrGraph> FromEdges(VertexId num_vertices,
+                                    std::vector<Edge> edges,
+                                    bool symmetrize = true);
+
+  VertexId num_vertices() const {
+    return offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return adjacency_.size(); }
+
+  /// In-degree of `v`.
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted in-neighbor list of `v`.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff `u` is an in-neighbor of `v` (binary search; O(log degree)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Average degree over all vertices (0 for the empty graph).
+  double AverageDegree() const {
+    VertexId n = num_vertices();
+    return n == 0 ? 0.0 : static_cast<double>(num_edges()) / n;
+  }
+
+  /// Induced subgraph on `vertices`; vertex i of the result corresponds to
+  /// vertices[i]. Used by subgraph-wise sampling and block partitioning.
+  CsrGraph InducedSubgraph(const std::vector<VertexId>& vertices) const;
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+
+ private:
+  // offsets_ has num_vertices+1 entries; adjacency_[offsets_[v]..
+  // offsets_[v+1]) are v's sorted in-neighbors.
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> adjacency_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,205 @@
+#include "graph/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+VertexSplit MakeSplit(VertexId num_vertices, double train_fraction,
+                      double val_fraction, uint64_t seed) {
+  GNNDM_CHECK(train_fraction >= 0 && val_fraction >= 0 &&
+              train_fraction + val_fraction <= 1.0);
+  std::vector<VertexId> order(num_vertices);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(order);
+  VertexSplit split;
+  size_t train_end = static_cast<size_t>(train_fraction * num_vertices);
+  size_t val_end =
+      train_end + static_cast<size_t>(val_fraction * num_vertices);
+  split.train.assign(order.begin(), order.begin() + train_end);
+  split.val.assign(order.begin() + train_end, order.begin() + val_end);
+  split.test.assign(order.begin() + val_end, order.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+VertexSplit MakeLabeledSplit(VertexId num_vertices, double labeled_fraction,
+                             double train_fraction, double val_fraction,
+                             uint64_t seed) {
+  GNNDM_CHECK(labeled_fraction > 0.0 && labeled_fraction <= 1.0);
+  std::vector<VertexId> order(num_vertices);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(order);
+  const auto labeled =
+      static_cast<size_t>(labeled_fraction * num_vertices);
+  VertexSplit split;
+  const auto train_end = static_cast<size_t>(train_fraction * labeled);
+  const auto val_end =
+      train_end + static_cast<size_t>(val_fraction * labeled);
+  split.train.assign(order.begin(), order.begin() + train_end);
+  split.val.assign(order.begin() + train_end, order.begin() + val_end);
+  split.test.assign(order.begin() + val_end, order.begin() + labeled);
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+FeatureMatrix MakeLabelCorrelatedFeatures(const std::vector<int32_t>& labels,
+                                          uint32_t num_classes, uint32_t dim,
+                                          double signal, uint64_t seed) {
+  Rng rng(seed);
+  // Per-class centroids.
+  std::vector<float> centroids(static_cast<size_t>(num_classes) * dim);
+  for (auto& c : centroids) c = static_cast<float>(rng.Normal());
+
+  FeatureMatrix features(static_cast<VertexId>(labels.size()), dim);
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    const float* centroid =
+        centroids.data() + static_cast<size_t>(labels[v]) * dim;
+    auto row = features.mutable_row(v);
+    for (uint32_t f = 0; f < dim; ++f) {
+      row[f] = static_cast<float>(signal) * centroid[f] +
+               static_cast<float>(rng.Normal());
+    }
+  }
+  return features;
+}
+
+Dataset MakeCommunityDataset(std::string name,
+                             CommunityGraph community_graph,
+                             const DatasetOptions& options, uint64_t seed) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.num_classes = community_graph.num_communities;
+  ds.labels.assign(community_graph.community.begin(),
+                   community_graph.community.end());
+  ds.graph = std::move(community_graph.graph);
+  // Features correlate with the clean communities; label noise applied
+  // afterwards is irreducible error that caps the accuracy ceiling.
+  ds.features = MakeLabelCorrelatedFeatures(
+      ds.labels, ds.num_classes, options.feature_dim, options.feature_signal,
+      seed ^ 0xFEA7u);
+  if (options.outlier_fraction > 0.0) {
+    // Outliers: self-feature-labeled vertices embedded in a foreign
+    // community. Their feature row is re-drawn from the new class's
+    // centroid (strongly), but their neighbors keep the old community's
+    // features — so aggregation dilutes exactly the signal that
+    // identifies them.
+    Rng outlier_rng(seed ^ 0x0071u);
+    std::vector<float> centroids(
+        static_cast<size_t>(ds.num_classes) * options.feature_dim);
+    {
+      Rng centroid_rng(seed ^ 0xFEA7u);  // same centroids as above
+      for (auto& c : centroids) c = static_cast<float>(centroid_rng.Normal());
+    }
+    const double min_degree =
+        options.outlier_degree_factor * ds.graph.AverageDegree();
+    for (VertexId v = 0; v < ds.labels.size(); ++v) {
+      if (ds.graph.degree(v) < min_degree) continue;
+      if (!outlier_rng.Bernoulli(options.outlier_fraction)) continue;
+      auto new_label = static_cast<int32_t>(
+          outlier_rng.UniformInt(ds.num_classes - 1));
+      if (new_label >= ds.labels[v]) ++new_label;
+      ds.labels[v] = new_label;
+      const float* centroid = centroids.data() +
+                              static_cast<size_t>(new_label) *
+                                  options.feature_dim;
+      auto row = ds.features.mutable_row(v);
+      for (uint32_t f = 0; f < options.feature_dim; ++f) {
+        row[f] = static_cast<float>(options.outlier_signal) * centroid[f] +
+                 static_cast<float>(outlier_rng.Normal());
+      }
+    }
+  }
+  if (options.label_noise > 0.0) {
+    Rng noise_rng(seed ^ 0x901Eu);
+    for (auto& label : ds.labels) {
+      if (noise_rng.Bernoulli(options.label_noise)) {
+        label = static_cast<int32_t>(noise_rng.UniformInt(ds.num_classes));
+      }
+    }
+  }
+  ds.split = MakeLabeledSplit(ds.graph.num_vertices(),
+                              options.labeled_fraction,
+                              options.train_fraction, options.val_fraction,
+                              seed ^ 0x5124u);
+  return ds;
+}
+
+namespace {
+
+struct DatasetSpec {
+  const char* name;
+  VertexId num_vertices;
+  double avg_degree;
+  uint32_t num_classes;
+  uint32_t feature_dim;
+  bool power_law;
+  double inter_fraction;    // fraction of degree crossing communities
+  double labeled_fraction;  // fraction of vertices with labels
+  double feature_signal;    // class-centroid strength in the features
+  double label_noise;       // irreducible error (sets the acc ceiling)
+  double outlier_fraction;  // self-feature-labeled vertices (Fig 12)
+};
+
+// Scaled stand-ins for Table 2. Column ratios mirror the paper: Reddit is
+// the densest and nearly fully labeled, papers_s the largest,
+// degree-uniform (non-power-law) and sparsely labeled (real OGB-Papers
+// has ~1% labels), the LiveJournal family mid-sized with 600-dim
+// features scaled to 64 and synthetic labels on a subset.
+// Label noise is calibrated to the paper's reported accuracy ceilings
+// (Table 4: Reddit ~96%, Products ~90%, Amazon ~65%; OGB leaderboard
+// Arxiv ~72%).
+constexpr DatasetSpec kSpecs[] = {
+    //  name            |V|    deg  #L  #F   plaw  inter  lbl   sig   noise outl
+    {"reddit_s",        4000, 60.0, 16, 64,  true,  0.30, 0.90, 0.20, 0.03, 0.30},
+    {"arxiv_s",         4000, 15.0, 16, 32,  true,  0.30, 0.90, 0.28, 0.28, 0.50},
+    {"products_s",      8000, 40.0, 24, 32,  true,  0.30, 0.25, 0.20, 0.09, 0.40},
+    {"papers_s",       16000, 15.0, 32, 32,  false, 0.30, 0.05, 0.28, 0.30, 0.40},
+    {"amazon_s",        6000, 50.0, 24, 48,  true,  0.30, 0.50, 0.20, 0.33, 0.40},
+    {"livejournal_s",   8000, 20.0, 16, 64,  true,  0.30, 0.20, 0.25, 0.20, 0.40},
+    {"ljlarge_s",      12000, 30.0, 16, 64,  true,  0.30, 0.20, 0.20, 0.20, 0.40},
+    {"ljlinks_s",       9000, 40.0, 16, 64,  true,  0.30, 0.20, 0.20, 0.20, 0.40},
+    {"enwiki_s",       16000, 50.0, 16, 64,  true,  0.35, 0.10, 0.20, 0.20, 0.40},
+};
+
+}  // namespace
+
+Result<Dataset> LoadDataset(const std::string& name, uint64_t seed) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (name != spec.name) continue;
+    double intra = spec.avg_degree * (1.0 - spec.inter_fraction);
+    double inter = spec.avg_degree * spec.inter_fraction;
+    CommunityGraph cg =
+        spec.power_law
+            ? GeneratePowerLawCommunity(spec.num_vertices, spec.num_classes,
+                                        intra, inter, seed)
+            : GeneratePlantedPartition(spec.num_vertices, spec.num_classes,
+                                       intra, inter, seed);
+    DatasetOptions options;
+    options.feature_dim = spec.feature_dim;
+    options.labeled_fraction = spec.labeled_fraction;
+    options.feature_signal = spec.feature_signal;
+    options.label_noise = spec.label_noise;
+    options.outlier_fraction = spec.outlier_fraction;
+    Dataset ds = MakeCommunityDataset(spec.name, std::move(cg), options, seed);
+    ds.power_law = spec.power_law;
+    return ds;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (const DatasetSpec& spec : kSpecs) names.emplace_back(spec.name);
+  return names;
+}
+
+}  // namespace gnndm

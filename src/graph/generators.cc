@@ -1,0 +1,189 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+CsrGraph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                            uint64_t seed) {
+  GNNDM_CHECK(num_vertices >= 2);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(num_vertices));
+    if (u == v) {
+      v = (v + 1) % num_vertices;
+    }
+    edges.push_back({u, v});
+  }
+  return std::move(
+             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+}
+
+CsrGraph GenerateRmat(VertexId num_vertices, EdgeId num_edges, uint64_t seed,
+                      const RmatOptions& options) {
+  GNNDM_CHECK(num_vertices >= 2);
+  // Round the vertex space up to a power of two for the recursion, then
+  // fold overflowing ids back into range.
+  int levels = 0;
+  while ((VertexId{1} << levels) < num_vertices) ++levels;
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  const double d = 1.0 - options.a - options.b - options.c;
+  GNNDM_CHECK(d > 0.0);
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Perturb quadrant probabilities per level for realism.
+      double na = options.a * (1.0 + options.noise * (rng.UniformReal() - 0.5));
+      double nb = options.b * (1.0 + options.noise * (rng.UniformReal() - 0.5));
+      double nc = options.c * (1.0 + options.noise * (rng.UniformReal() - 0.5));
+      double nd = d * (1.0 + options.noise * (rng.UniformReal() - 0.5));
+      double total = na + nb + nc + nd;
+      double r = rng.UniformReal() * total;
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // top-left quadrant: no bits set
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    u %= num_vertices;
+    v %= num_vertices;
+    if (u == v) v = (v + 1) % num_vertices;
+    edges.push_back({u, v});
+  }
+  return std::move(
+             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+}
+
+CsrGraph GenerateBarabasiAlbert(VertexId num_vertices,
+                                uint32_t edges_per_vertex, uint64_t seed) {
+  GNNDM_CHECK(num_vertices > edges_per_vertex);
+  GNNDM_CHECK(edges_per_vertex >= 1);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes preferential attachment.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(edges.capacity() * 2);
+  // Seed clique over the first m+1 vertices.
+  for (VertexId v = 0; v <= edges_per_vertex; ++v) {
+    for (VertexId u = 0; u < v; ++u) {
+      edges.push_back({u, v});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < num_vertices; ++v) {
+    for (uint32_t j = 0; j < edges_per_vertex; ++j) {
+      VertexId u =
+          endpoint_pool[rng.UniformInt(endpoint_pool.size())];
+      edges.push_back({u, v});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return std::move(
+             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+}
+
+namespace {
+
+/// Shared machinery for the two community generators. `degree_weight(v)`
+/// biases endpoint selection inside a community (uniform = 1).
+CommunityGraph GenerateCommunityImpl(VertexId num_vertices,
+                                     uint32_t num_communities,
+                                     double avg_intra_degree,
+                                     double avg_inter_degree, uint64_t seed,
+                                     bool power_law) {
+  GNNDM_CHECK(num_communities >= 1);
+  GNNDM_CHECK(num_vertices >= num_communities * 2);
+  Rng rng(seed);
+
+  CommunityGraph out;
+  out.num_communities = num_communities;
+  out.community.resize(num_vertices);
+  std::vector<std::vector<VertexId>> members(num_communities);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    uint32_t c = v % num_communities;  // round-robin => balanced sizes
+    out.community[v] = c;
+    members[c].push_back(v);
+  }
+
+  // Zipf-ish weights for power-law intra-community hubs.
+  auto pick_member = [&](uint32_t c) -> VertexId {
+    const auto& m = members[c];
+    if (!power_law) {
+      return m[rng.UniformInt(m.size())];
+    }
+    // Inverse-CDF of p(i) ~ 1/(i+1): i = exp(U * ln(n)) - 1, biased to
+    // low indices which become hubs.
+    double u = rng.UniformReal();
+    double x = std::exp(u * std::log(static_cast<double>(m.size()))) - 1.0;
+    size_t i = std::min(m.size() - 1, static_cast<size_t>(x));
+    return m[i];
+  };
+
+  std::vector<Edge> edges;
+  EdgeId intra_edges =
+      static_cast<EdgeId>(avg_intra_degree * num_vertices / 2.0);
+  EdgeId inter_edges =
+      static_cast<EdgeId>(avg_inter_degree * num_vertices / 2.0);
+  edges.reserve(intra_edges + inter_edges);
+  for (EdgeId i = 0; i < intra_edges; ++i) {
+    uint32_t c = static_cast<uint32_t>(rng.UniformInt(num_communities));
+    VertexId u = pick_member(c);
+    VertexId v = pick_member(c);
+    if (u == v) continue;
+    edges.push_back({u, v});
+  }
+  if (num_communities > 1) {
+    for (EdgeId i = 0; i < inter_edges; ++i) {
+      uint32_t c1 = static_cast<uint32_t>(rng.UniformInt(num_communities));
+      uint32_t c2 = static_cast<uint32_t>(rng.UniformInt(num_communities - 1));
+      if (c2 >= c1) ++c2;
+      edges.push_back({pick_member(c1), pick_member(c2)});
+    }
+  }
+  out.graph = std::move(
+      CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+  return out;
+}
+
+}  // namespace
+
+CommunityGraph GeneratePlantedPartition(VertexId num_vertices,
+                                        uint32_t num_communities,
+                                        double avg_intra_degree,
+                                        double avg_inter_degree,
+                                        uint64_t seed) {
+  return GenerateCommunityImpl(num_vertices, num_communities,
+                               avg_intra_degree, avg_inter_degree, seed,
+                               /*power_law=*/false);
+}
+
+CommunityGraph GeneratePowerLawCommunity(VertexId num_vertices,
+                                         uint32_t num_communities,
+                                         double avg_intra_degree,
+                                         double avg_inter_degree,
+                                         uint64_t seed) {
+  return GenerateCommunityImpl(num_vertices, num_communities,
+                               avg_intra_degree, avg_inter_degree, seed,
+                               /*power_law=*/true);
+}
+
+}  // namespace gnndm

@@ -1,0 +1,73 @@
+#ifndef GNNDM_GRAPH_GENERATORS_H_
+#define GNNDM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace gnndm {
+
+/// Synthetic graph generators standing in for the paper's real datasets
+/// (Reddit, OGB-*, LiveJournal, Enwiki — none are available offline).
+/// All generators are deterministic in `seed` and produce symmetric
+/// (undirected) graphs, matching how the evaluated systems preprocess
+/// their inputs.
+
+/// Erdős–Rényi G(n, m): `num_edges` uniformly random edges. A
+/// non-power-law, degree-uniform graph — the stand-in for OGB-Papers in
+/// the caching experiment (Fig 17), where the paper relies on its
+/// non-power-law degree profile.
+CsrGraph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                            uint64_t seed);
+
+/// R-MAT power-law generator (Chakrabarti et al.) with partition
+/// probabilities (a, b, c, d). Defaults give the heavy skew of social /
+/// co-purchasing networks (Reddit, Amazon, LiveJournal).
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  /// Amount of noise added to the probabilities at each recursion level to
+  /// avoid degenerate staircase structure.
+  double noise = 0.1;
+};
+CsrGraph GenerateRmat(VertexId num_vertices_pow2_ceil, EdgeId num_edges,
+                      uint64_t seed, const RmatOptions& options = {});
+
+/// Preferential-attachment (Barabási–Albert): each new vertex attaches to
+/// `edges_per_vertex` existing vertices proportionally to degree. Produces
+/// power-law degree with guaranteed connectivity.
+CsrGraph GenerateBarabasiAlbert(VertexId num_vertices,
+                                uint32_t edges_per_vertex, uint64_t seed);
+
+/// Planted-partition community graph plus the ground-truth community of
+/// each vertex. Vertices are split into `num_communities` equal groups;
+/// within-group edges are sampled to reach `avg_intra_degree` per vertex
+/// and cross-group edges to reach `avg_inter_degree`. This is the dataset
+/// used for every accuracy/convergence experiment: labels derived from the
+/// planted communities are learnable by a 2-layer GCN, and the community
+/// structure gives Metis-like partitioners something real to cluster.
+struct CommunityGraph {
+  CsrGraph graph;
+  std::vector<uint32_t> community;  ///< community[v] in [0, num_communities)
+  uint32_t num_communities = 0;
+};
+CommunityGraph GeneratePlantedPartition(VertexId num_vertices,
+                                        uint32_t num_communities,
+                                        double avg_intra_degree,
+                                        double avg_inter_degree,
+                                        uint64_t seed);
+
+/// Like GeneratePlantedPartition but with power-law intra-community degree
+/// (a few hubs per community), modelling skewed real graphs such as Reddit.
+CommunityGraph GeneratePowerLawCommunity(VertexId num_vertices,
+                                         uint32_t num_communities,
+                                         double avg_intra_degree,
+                                         double avg_inter_degree,
+                                         uint64_t seed);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_GRAPH_GENERATORS_H_

@@ -1,0 +1,58 @@
+#ifndef GNNDM_GRAPH_STATS_H_
+#define GNNDM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace gnndm {
+
+/// Local clustering coefficient of `v` (Watts–Strogatz): the fraction of
+/// pairs of v's neighbors that are themselves connected. 0 when degree < 2.
+double LocalClusteringCoefficient(const CsrGraph& graph, VertexId v);
+
+/// Mean local clustering coefficient over `vertices` (or the whole graph
+/// when `vertices` is empty). The paper uses the *variance* of per-partition
+/// coefficients to quantify partition density imbalance (§5.3.1, §6.3.2).
+double AverageClusteringCoefficient(const CsrGraph& graph,
+                                    const std::vector<VertexId>& vertices = {});
+
+/// Like LocalClusteringCoefficient but examines at most `max_neighbors`
+/// randomly chosen neighbors — O(max_neighbors^2) regardless of hub size.
+/// Used when analyzing partitions of power-law graphs.
+double SampledClusteringCoefficient(const CsrGraph& graph, VertexId v,
+                                    uint32_t max_neighbors, Rng& rng);
+
+/// Sample statistics helpers used throughout the evaluation sections.
+double Mean(const std::vector<double>& values);
+double Variance(const std::vector<double>& values);  ///< population variance
+double StdDev(const std::vector<double>& values);
+
+/// max(values) / mean(values): the load-imbalance factor reported for
+/// computational and communication balance (1.0 = perfectly balanced).
+double ImbalanceFactor(const std::vector<double>& values);
+
+/// Degree histogram in power-of-two buckets: bucket b counts vertices with
+/// degree in [2^b, 2^(b+1)).
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& graph);
+
+/// Gini coefficient of the degree distribution — a scalar skewness measure
+/// (≈0 uniform, →1 extremely skewed). Used to verify the generators'
+/// power-law vs non-power-law distinction exercised by Fig 17.
+double DegreeGini(const CsrGraph& graph);
+
+/// Splits vertex ids into (low, high) degree classes around the median
+/// degree of `vertices`; used for Table 7 per-degree-class accuracy.
+struct DegreeClasses {
+  std::vector<VertexId> low;
+  std::vector<VertexId> high;
+  uint32_t threshold_degree = 0;
+};
+DegreeClasses SplitByDegree(const CsrGraph& graph,
+                            const std::vector<VertexId>& vertices);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_GRAPH_STATS_H_

@@ -1,0 +1,91 @@
+#include "nn/aggregate.h"
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+void MeanAggregateWithSelf(const SampleLayer& layer, const Tensor& src,
+                           Tensor& out) {
+  GNNDM_CHECK(src.rows() == layer.num_src);
+  const size_t d = src.cols();
+  out.Resize(layer.num_dst, d);
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    float* orow = out.data() + static_cast<size_t>(i) * d;
+    const float* self = src.data() + static_cast<size_t>(i) * d;
+    for (size_t f = 0; f < d; ++f) orow[f] = self[f];
+    const uint32_t begin = layer.offsets[i];
+    const uint32_t end = layer.offsets[i + 1];
+    for (uint32_t e = begin; e < end; ++e) {
+      const float* nrow =
+          src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+      for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+    }
+    const float inv = 1.0f / static_cast<float>(1 + end - begin);
+    for (size_t f = 0; f < d; ++f) orow[f] *= inv;
+  }
+}
+
+void MeanAggregateWithSelfBackward(const SampleLayer& layer,
+                                   const Tensor& d_out, Tensor& d_src) {
+  GNNDM_CHECK(d_out.rows() == layer.num_dst);
+  const size_t d = d_out.cols();
+  if (d_src.rows() != layer.num_src || d_src.cols() != d) {
+    d_src.Resize(layer.num_src, d);
+  }
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    const float* grow = d_out.data() + static_cast<size_t>(i) * d;
+    const uint32_t begin = layer.offsets[i];
+    const uint32_t end = layer.offsets[i + 1];
+    const float inv = 1.0f / static_cast<float>(1 + end - begin);
+    float* self = d_src.data() + static_cast<size_t>(i) * d;
+    for (size_t f = 0; f < d; ++f) self[f] += grow[f] * inv;
+    for (uint32_t e = begin; e < end; ++e) {
+      float* nrow =
+          d_src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+      for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
+    }
+  }
+}
+
+void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
+                            Tensor& out) {
+  GNNDM_CHECK(src.rows() == layer.num_src);
+  const size_t d = src.cols();
+  out.Resize(layer.num_dst, d);
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    float* orow = out.data() + static_cast<size_t>(i) * d;
+    const uint32_t begin = layer.offsets[i];
+    const uint32_t end = layer.offsets[i + 1];
+    if (begin == end) continue;  // zero row
+    for (uint32_t e = begin; e < end; ++e) {
+      const float* nrow =
+          src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+      for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+    }
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (size_t f = 0; f < d; ++f) orow[f] *= inv;
+  }
+}
+
+void MeanAggregateNeighborsBackward(const SampleLayer& layer,
+                                    const Tensor& d_out, Tensor& d_src) {
+  GNNDM_CHECK(d_out.rows() == layer.num_dst);
+  const size_t d = d_out.cols();
+  if (d_src.rows() != layer.num_src || d_src.cols() != d) {
+    d_src.Resize(layer.num_src, d);
+  }
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    const uint32_t begin = layer.offsets[i];
+    const uint32_t end = layer.offsets[i + 1];
+    if (begin == end) continue;
+    const float* grow = d_out.data() + static_cast<size_t>(i) * d;
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (uint32_t e = begin; e < end; ++e) {
+      float* nrow =
+          d_src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+      for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
+    }
+  }
+}
+
+}  // namespace gnndm

@@ -1,0 +1,80 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace gnndm {
+
+namespace {
+
+constexpr char kMagic[6] = "GNCK1";
+
+}  // namespace
+
+Status SaveCheckpoint(GnnModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  std::vector<Parameter*> params = model.Parameters();
+  const auto count = static_cast<uint64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Parameter* p : params) {
+    const auto name_size = static_cast<uint64_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_size), sizeof(name_size));
+    out.write(p->name.data(), static_cast<std::streamsize>(name_size));
+    const auto rows = static_cast<uint64_t>(p->value.rows());
+    const auto cols = static_cast<uint64_t>(p->value.cols());
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Status LoadCheckpoint(GnnModel& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a gnndm checkpoint: " + path);
+  }
+  std::vector<Parameter*> params = model.Parameters();
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    uint64_t name_size = 0;
+    in.read(reinterpret_cast<char*>(&name_size), sizeof(name_size));
+    if (!in || name_size > 4096) {
+      return Status::InvalidArgument("corrupt checkpoint name in " + path);
+    }
+    std::string name(name_size, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_size));
+    if (name != p->name) {
+      return Status::FailedPrecondition("parameter name mismatch: expected " +
+                                        p->name + ", found " + name);
+    }
+    uint64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::FailedPrecondition("parameter shape mismatch for " +
+                                        p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gnndm

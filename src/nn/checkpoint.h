@@ -1,0 +1,20 @@
+#ifndef GNNDM_NN_CHECKPOINT_H_
+#define GNNDM_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace gnndm {
+
+/// Binary model checkpointing. Format: magic "GNCK1", parameter count,
+/// then per parameter: name, shape, float32 payload. Loading validates
+/// that names and shapes match the target model exactly, so a
+/// checkpoint can only be restored into an identically configured model.
+Status SaveCheckpoint(GnnModel& model, const std::string& path);
+Status LoadCheckpoint(GnnModel& model, const std::string& path);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_NN_CHECKPOINT_H_

@@ -1,0 +1,160 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+#include "nn/aggregate.h"
+#include "tensor/ops.h"
+
+namespace gnndm {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim, bool relu,
+               Rng& rng)
+    : weight_(name + ".weight", in_dim, out_dim),
+      bias_(name + ".bias", 1, out_dim),
+      relu_(relu) {
+  XavierInit(weight_.value, rng);
+}
+
+const Tensor& Linear::Forward(const Tensor& x) {
+  input_cache_ = x;
+  MatMul(x, weight_.value, output_);
+  AddBiasInPlace(output_, bias_.value);
+  if (relu_) ReluInPlace(output_);
+  return output_;
+}
+
+Tensor Linear::Backward(const Tensor& d_out) {
+  Tensor dz = d_out;
+  if (relu_) ReluBackwardInPlace(dz, output_);
+  Tensor dw;
+  MatMulTransA(input_cache_, dz, dw);
+  Axpy(1.0f, dw, weight_.grad);
+  Tensor db;
+  SumRows(dz, db);
+  Axpy(1.0f, db, bias_.grad);
+  Tensor dx;
+  MatMulTransB(dz, weight_.value, dx);
+  return dx;
+}
+
+GcnConv::GcnConv(std::string name, size_t in_dim, size_t out_dim, bool relu,
+                 Rng& rng)
+    : weight_(name + ".weight", in_dim, out_dim),
+      bias_(name + ".bias", 1, out_dim),
+      relu_(relu) {
+  XavierInit(weight_.value, rng);
+}
+
+const Tensor& GcnConv::Forward(const SampleLayer& layer, const Tensor& src) {
+  MeanAggregateWithSelf(layer, src, agg_cache_);
+  MatMul(agg_cache_, weight_.value, output_);
+  AddBiasInPlace(output_, bias_.value);
+  if (relu_) ReluInPlace(output_);
+  return output_;
+}
+
+Tensor GcnConv::Backward(const SampleLayer& layer, const Tensor& d_out) {
+  Tensor dz = d_out;
+  if (relu_) ReluBackwardInPlace(dz, output_);
+  Tensor dw;
+  MatMulTransA(agg_cache_, dz, dw);
+  Axpy(1.0f, dw, weight_.grad);
+  Tensor db;
+  SumRows(dz, db);
+  Axpy(1.0f, db, bias_.grad);
+  Tensor d_agg;
+  MatMulTransB(dz, weight_.value, d_agg);
+  Tensor d_src(layer.num_src, weight_.value.rows());
+  MeanAggregateWithSelfBackward(layer, d_agg, d_src);
+  return d_src;
+}
+
+SageConv::SageConv(std::string name, size_t in_dim, size_t out_dim,
+                   bool relu, Rng& rng)
+    : weight_self_(name + ".weight_self", in_dim, out_dim),
+      weight_neigh_(name + ".weight_neigh", in_dim, out_dim),
+      bias_(name + ".bias", 1, out_dim),
+      relu_(relu) {
+  XavierInit(weight_self_.value, rng);
+  XavierInit(weight_neigh_.value, rng);
+}
+
+const Tensor& SageConv::Forward(const SampleLayer& layer, const Tensor& src) {
+  GNNDM_CHECK(src.rows() == layer.num_src);
+  const size_t in_dim = src.cols();
+  // Self branch: destination i's features are src row i.
+  self_cache_.Resize(layer.num_dst, in_dim);
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    auto srow = src.row(i);
+    auto drow = self_cache_.row(i);
+    for (size_t f = 0; f < in_dim; ++f) drow[f] = srow[f];
+  }
+  MeanAggregateNeighbors(layer, src, agg_cache_);
+
+  MatMul(self_cache_, weight_self_.value, output_);
+  Tensor neigh_out;
+  MatMul(agg_cache_, weight_neigh_.value, neigh_out);
+  Axpy(1.0f, neigh_out, output_);
+  AddBiasInPlace(output_, bias_.value);
+  if (relu_) ReluInPlace(output_);
+  return output_;
+}
+
+Tensor SageConv::Backward(const SampleLayer& layer, const Tensor& d_out) {
+  Tensor dz = d_out;
+  if (relu_) ReluBackwardInPlace(dz, output_);
+
+  Tensor dw_self;
+  MatMulTransA(self_cache_, dz, dw_self);
+  Axpy(1.0f, dw_self, weight_self_.grad);
+  Tensor dw_neigh;
+  MatMulTransA(agg_cache_, dz, dw_neigh);
+  Axpy(1.0f, dw_neigh, weight_neigh_.grad);
+  Tensor db;
+  SumRows(dz, db);
+  Axpy(1.0f, db, bias_.grad);
+
+  const size_t in_dim = weight_self_.value.rows();
+  Tensor d_src(layer.num_src, in_dim);
+  // Self branch gradient lands on the first num_dst source rows.
+  Tensor d_self;
+  MatMulTransB(dz, weight_self_.value, d_self);
+  for (uint32_t i = 0; i < layer.num_dst; ++i) {
+    auto grow = d_self.row(i);
+    auto drow = d_src.row(i);
+    for (size_t f = 0; f < in_dim; ++f) drow[f] += grow[f];
+  }
+  // Neighbor branch gradient scatters through the aggregation.
+  Tensor d_agg;
+  MatMulTransB(dz, weight_neigh_.value, d_agg);
+  MeanAggregateNeighborsBackward(layer, d_agg, d_src);
+  return d_src;
+}
+
+void Dropout::Forward(Tensor& x, bool train, Rng& rng) {
+  active_ = train && rate_ > 0.0;
+  if (!active_) return;
+  mask_.resize(x.size());
+  const float scale = 1.0f / static_cast<float>(1.0 - rate_);
+  float* p = x.data();
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng.UniformReal() < rate_) {
+      mask_[i] = 0;
+      p[i] = 0.0f;
+    } else {
+      mask_[i] = 1;
+      p[i] *= scale;
+    }
+  }
+}
+
+void Dropout::Backward(Tensor& d_x) const {
+  if (!active_) return;
+  GNNDM_CHECK(d_x.size() == mask_.size());
+  const float scale = 1.0f / static_cast<float>(1.0 - rate_);
+  float* p = d_x.data();
+  for (size_t i = 0; i < d_x.size(); ++i) {
+    p[i] = mask_[i] ? p[i] * scale : 0.0f;
+  }
+}
+
+}  // namespace gnndm

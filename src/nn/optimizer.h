@@ -1,0 +1,69 @@
+#ifndef GNNDM_NN_OPTIMIZER_H_
+#define GNNDM_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace gnndm {
+
+/// Optimizer interface: Step() consumes the accumulated gradients of the
+/// registered parameters and zeroes them afterwards.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the paper's
+/// accuracy/convergence experiments rely on implicitly via PyTorch.
+class Adam : public Optimizer {
+ public:
+  /// `weight_decay` is decoupled (AdamW-style): applied directly to the
+  /// weights, not mixed into the adaptive moments.
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_NN_OPTIMIZER_H_

@@ -1,0 +1,29 @@
+#ifndef GNNDM_NN_PARAMETER_H_
+#define GNNDM_NN_PARAMETER_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace gnndm {
+
+/// A trainable weight with its accumulated gradient. Gradients are summed
+/// across Backward() calls and cleared by the optimizer after each step
+/// (or explicitly via ZeroGrad), which is what distributed gradient
+/// averaging in gnndm::dist relies on.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string param_name, size_t rows, size_t cols)
+      : name(std::move(param_name)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+  size_t NumElements() const { return value.size(); }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_NN_PARAMETER_H_

@@ -1,0 +1,99 @@
+#ifndef GNNDM_PARTITION_ANALYZER_H_
+#define GNNDM_PARTITION_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gnndm {
+
+/// Per-machine workload ledger for one simulated training epoch under a
+/// given partitioning — the quantities behind Figs 4 and 5.
+struct MachineLoad {
+  /// Sampled edges produced while expanding vertices this machine owns on
+  /// behalf of its *own* training batches.
+  uint64_t local_sampling = 0;
+  /// Sampled edges produced while serving *remote* machines' sampling
+  /// requests for vertices this machine owns.
+  uint64_t remote_sampling = 0;
+  /// Edges aggregated during NN training of this machine's batches — the
+  /// dominant training cost the paper counts (§5.3.1).
+  uint64_t aggregation = 0;
+  /// Bytes sent to other machines (feature vectors + sampled structures).
+  uint64_t bytes_out = 0;
+  /// Bytes received from other machines.
+  uint64_t bytes_in = 0;
+
+  uint64_t TotalComputation() const {
+    return local_sampling + remote_sampling + aggregation;
+  }
+  uint64_t TotalCommunication() const { return bytes_out + bytes_in; }
+};
+
+/// Aggregated analysis of a partitioning for GNN training.
+struct PartitionLoadReport {
+  std::vector<MachineLoad> machines;
+  /// Variance of per-partition clustering coefficients — the density-
+  /// imbalance diagnostic the paper reports for Stream-V/B (§5.3.1).
+  double clustering_coeff_variance = 0.0;
+  std::vector<double> clustering_coeff;  ///< per partition
+
+  uint64_t TotalComputation() const;
+  uint64_t TotalCommunication() const;
+  /// max/mean load-imbalance factors (1.0 = perfectly balanced).
+  double ComputationImbalance() const;
+  double CommunicationImbalance() const;
+};
+
+/// Options controlling the simulated epoch used for accounting.
+struct AnalyzerOptions {
+  uint32_t batch_size = 512;
+  /// Bytes per feature value times the feature dimension; defaults assume
+  /// float32 x 64 dims (the scaled datasets).
+  uint32_t feature_bytes = 64 * 4;
+  /// Bytes to ship one sampled edge (two 4-byte vertex ids).
+  uint32_t edge_bytes = 8;
+  uint64_t seed = 1;
+  /// Neighbor cap when estimating per-partition clustering coefficients.
+  uint32_t clustering_max_neighbors = 48;
+};
+
+/// Per-partition storage footprint — what each machine must hold in
+/// memory. Stream-V's L-hop halo caching trades redundant storage for
+/// zero communication (§5.2); the replication factor quantifies it.
+struct StorageReport {
+  struct PerMachine {
+    uint64_t owned_vertices = 0;
+    uint64_t halo_vertices = 0;
+    uint64_t feature_bytes = 0;    ///< owned + halo feature rows
+    uint64_t structure_bytes = 0;  ///< adjacency of owned + halo vertices
+  };
+  std::vector<PerMachine> machines;
+  /// (sum of stored vertices across machines) / |V| — 1.0 means no
+  /// replication.
+  double replication_factor = 1.0;
+};
+
+/// Computes the storage footprint of a partitioning (features at
+/// `feature_bytes` per vertex, 8 bytes per stored edge).
+StorageReport AnalyzeStorage(const CsrGraph& graph,
+                             const PartitionResult& partition,
+                             uint32_t feature_bytes);
+
+/// Simulates one distributed training epoch: every machine mini-batches
+/// its local training vertices, samples L-hop subgraphs (remote expansions
+/// are served by the owning machine), fetches remote input features, and
+/// aggregates locally. Vertices in a machine's halo (PaGraph caching)
+/// count as local. Deterministic in `options.seed`.
+PartitionLoadReport AnalyzePartition(const CsrGraph& graph,
+                                     const VertexSplit& split,
+                                     const PartitionResult& partition,
+                                     const NeighborSampler& sampler,
+                                     const AnalyzerOptions& options);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_PARTITION_ANALYZER_H_

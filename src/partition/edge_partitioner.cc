@@ -1,0 +1,62 @@
+#include "partition/edge_partitioner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace gnndm {
+
+namespace {
+
+uint64_t MixHash(uint64_t x, uint64_t seed) {
+  x += seed + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PartitionResult EdgeHashPartitioner::Partition(const PartitionInput& input,
+                                               uint32_t num_parts,
+                                               uint64_t seed) const {
+  WallTimer timer;
+  const CsrGraph& graph = input.graph;
+  const VertexId n = graph.num_vertices();
+
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.assignment.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.assignment[v] =
+        static_cast<uint32_t>(MixHash(v, seed) % num_parts);
+  }
+
+  // A vertex is replicated everywhere one of its edges lands. Hash each
+  // undirected edge once by its canonical (min, max) key.
+  std::vector<std::vector<uint8_t>> present(
+      num_parts, std::vector<uint8_t>(n, 0));
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      const uint64_t lo = std::min(u, v);
+      const uint64_t hi = std::max(u, v);
+      const auto p = static_cast<uint32_t>(
+          MixHash((lo << 32) | hi, seed ^ 0xED6Eu) % num_parts);
+      present[p][u] = 1;
+      present[p][v] = 1;
+    }
+  }
+  result.halo.resize(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (present[p][v] && result.assignment[v] != p) {
+        result.halo[p].push_back(v);
+      }
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,28 @@
+#ifndef GNNDM_PARTITION_EDGE_PARTITIONER_H_
+#define GNNDM_PARTITION_EDGE_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace gnndm {
+
+/// Hash-by-edges partitioning, the other hash family in Table 1
+/// (NeuGraph [27], DistGNN [28], Sancus [37], MariusGNN [46]): edges are
+/// hashed to machines and a vertex is *replicated* on every machine that
+/// owns one of its incident edges (vertex-cut / 2D partitioning). One
+/// machine — the hash owner of the vertex id — is the master.
+///
+/// In PartitionResult terms: `assignment` holds the master machine and
+/// `halo[p]` the replicas machine p stores, so the storage analyzer
+/// surfaces the replication cost and the load analyzer treats replicas
+/// as local (mirrored state is synchronized out-of-band in those
+/// systems).
+class EdgeHashPartitioner : public Partitioner {
+ public:
+  PartitionResult Partition(const PartitionInput& input, uint32_t num_parts,
+                            uint64_t seed) const override;
+  std::string name() const override { return "EdgeHash"; }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_PARTITION_EDGE_PARTITIONER_H_

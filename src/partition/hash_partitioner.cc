@@ -1,0 +1,35 @@
+#include "partition/hash_partitioner.h"
+
+#include "common/timer.h"
+
+namespace gnndm {
+
+namespace {
+
+/// SplitMix64-style integer hash, seeded.
+uint64_t MixHash(uint64_t x, uint64_t seed) {
+  x += seed + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PartitionResult HashPartitioner::Partition(const PartitionInput& input,
+                                           uint32_t num_parts,
+                                           uint64_t seed) const {
+  WallTimer timer;
+  PartitionResult result;
+  result.num_parts = num_parts;
+  const VertexId n = input.graph.num_vertices();
+  result.assignment.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.assignment[v] =
+        static_cast<uint32_t>(MixHash(v, seed) % num_parts);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,22 @@
+#ifndef GNNDM_PARTITION_HASH_PARTITIONER_H_
+#define GNNDM_PARTITION_HASH_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace gnndm {
+
+/// Hash partitioning as used by P3 [10]: vertices are assigned to parts by
+/// a seeded hash, i.e. uniformly at random. Perfect computational and
+/// communication *balance* in expectation (goals 2 & 4) but oblivious to
+/// vertex dependencies, so total load and communication are the highest of
+/// all methods (§5.3.1–5.3.2).
+class HashPartitioner : public Partitioner {
+ public:
+  PartitionResult Partition(const PartitionInput& input, uint32_t num_parts,
+                            uint64_t seed) const override;
+  std::string name() const override { return "Hash"; }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_PARTITION_HASH_PARTITIONER_H_

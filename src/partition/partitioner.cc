@@ -1,0 +1,44 @@
+#include "partition/partitioner.h"
+
+namespace gnndm {
+
+std::vector<VertexId> PartitionResult::PartitionVertices(uint32_t p) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] == p) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> PartitionResult::Filter(
+    const std::vector<VertexId>& vertices, uint32_t p) const {
+  std::vector<VertexId> out;
+  for (VertexId v : vertices) {
+    if (assignment[v] == p) out.push_back(v);
+  }
+  return out;
+}
+
+uint64_t PartitionResult::EdgeCut(const CsrGraph& graph) const {
+  uint64_t cut = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      if (assignment[u] != assignment[v]) ++cut;
+    }
+  }
+  // Each undirected edge appears twice in the symmetric CSR.
+  return cut / 2;
+}
+
+RoleMasks MakeRoleMasks(VertexId num_vertices, const VertexSplit& split) {
+  RoleMasks masks;
+  masks.is_train.assign(num_vertices, 0);
+  masks.is_val.assign(num_vertices, 0);
+  masks.is_test.assign(num_vertices, 0);
+  for (VertexId v : split.train) masks.is_train[v] = 1;
+  for (VertexId v : split.val) masks.is_val[v] = 1;
+  for (VertexId v : split.test) masks.is_test[v] = 1;
+  return masks;
+}
+
+}  // namespace gnndm

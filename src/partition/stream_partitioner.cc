@@ -1,0 +1,241 @@
+#include "partition/stream_partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gnndm {
+namespace {
+
+/// Collects the (capped) L-hop in-neighborhood of `v`, excluding `v`.
+std::vector<VertexId> LHopNeighborhood(const CsrGraph& graph, VertexId v,
+                                       uint32_t hops, size_t cap) {
+  std::unordered_set<VertexId> seen{v};
+  std::vector<VertexId> frontier{v};
+  std::vector<VertexId> out;
+  for (uint32_t hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId x : frontier) {
+      for (VertexId u : graph.neighbors(x)) {
+        if (seen.insert(u).second) {
+          out.push_back(u);
+          next.push_back(u);
+          if (out.size() >= cap) return out;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
+                                              uint32_t num_parts,
+                                              uint64_t seed) const {
+  WallTimer timer;
+  const CsrGraph& graph = input.graph;
+  const VertexId n = graph.num_vertices();
+  Rng rng(seed);
+
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.assignment.assign(n, UINT32_MAX);
+  result.halo.resize(num_parts);
+
+  // Per-partition accumulated vertex sets (train vertices + cached halo).
+  std::vector<std::unordered_set<VertexId>> part_set(num_parts);
+  std::vector<uint64_t> train_count(num_parts, 0);
+  const uint64_t capacity =
+      (input.split.train.size() + num_parts - 1) / num_parts + 1;
+
+  std::vector<VertexId> stream = input.split.train;
+  rng.Shuffle(stream);
+  // The halo cap keeps pathological hubs from replicating the whole graph.
+  const size_t halo_cap = std::max<size_t>(4096, n / num_parts * 2);
+
+  for (VertexId v : stream) {
+    std::vector<VertexId> hood =
+        LHopNeighborhood(graph, v, num_hops_, halo_cap);
+    // Score every eligible partition by |hood ∩ part_set| (the PaGraph
+    // score), discounted by how full the partition already is.
+    double best_score = -1.0;
+    uint32_t best_part = 0;
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      if (train_count[p] >= capacity) continue;
+      uint64_t overlap = 0;
+      for (VertexId u : hood) overlap += part_set[p].count(u);
+      double balance =
+          1.0 - static_cast<double>(train_count[p]) /
+                    static_cast<double>(capacity);
+      double score = static_cast<double>(overlap) * balance + balance;
+      if (score > best_score) {
+        best_score = score;
+        best_part = p;
+      }
+    }
+    result.assignment[v] = best_part;
+    ++train_count[best_part];
+    part_set[best_part].insert(v);
+    for (VertexId u : hood) part_set[best_part].insert(u);
+  }
+
+  // Materialize halos: everything a partition cached beyond what it owns.
+  // Non-train vertices are owned by the first partition that cached them
+  // (falling back to hash for untouched vertices).
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (VertexId u : part_set[p]) {
+      if (result.assignment[u] == UINT32_MAX) result.assignment[u] = p;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.assignment[v] == UINT32_MAX) {
+      result.assignment[v] = static_cast<uint32_t>(rng.UniformInt(num_parts));
+    }
+  }
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (VertexId u : part_set[p]) {
+      if (result.assignment[u] != p) result.halo[p].push_back(u);
+    }
+    std::sort(result.halo[p].begin(), result.halo[p].end());
+  }
+
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+PartitionResult StreamBPartitioner::Partition(const PartitionInput& input,
+                                              uint32_t num_parts,
+                                              uint64_t seed) const {
+  WallTimer timer;
+  const CsrGraph& graph = input.graph;
+  const VertexId n = graph.num_vertices();
+  Rng rng(seed);
+  RoleMasks masks = MakeRoleMasks(n, input.split);
+
+  // --- Phase 1: block construction (BFS around labeled vertices). ---
+  std::vector<uint32_t> block_of(n, UINT32_MAX);
+  std::vector<std::vector<VertexId>> blocks;
+  auto grow_block = [&](VertexId seed_vertex) {
+    if (block_of[seed_vertex] != UINT32_MAX) return;
+    uint32_t id = static_cast<uint32_t>(blocks.size());
+    blocks.emplace_back();
+    std::deque<std::pair<VertexId, uint32_t>> frontier{{seed_vertex, 0}};
+    while (!frontier.empty() && blocks[id].size() < block_capacity_) {
+      auto [v, depth] = frontier.front();
+      frontier.pop_front();
+      if (block_of[v] != UINT32_MAX) continue;
+      block_of[v] = id;
+      blocks[id].push_back(v);
+      if (depth >= block_depth_) continue;
+      for (VertexId u : graph.neighbors(v)) {
+        if (block_of[u] == UINT32_MAX) frontier.push_back({u, depth + 1});
+      }
+    }
+  };
+  std::vector<VertexId> seeds;
+  seeds.reserve(input.split.train.size() + input.split.val.size() +
+                input.split.test.size());
+  seeds.insert(seeds.end(), input.split.train.begin(),
+               input.split.train.end());
+  seeds.insert(seeds.end(), input.split.val.begin(), input.split.val.end());
+  seeds.insert(seeds.end(), input.split.test.begin(),
+               input.split.test.end());
+  rng.Shuffle(seeds);
+  for (VertexId s : seeds) grow_block(s);
+  for (VertexId v = 0; v < n; ++v) grow_block(v);  // leftovers
+
+  // --- Phase 2: stream blocks to partitions. ---
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.assignment.assign(n, UINT32_MAX);
+  std::vector<uint64_t> train_count(num_parts, 0), val_count(num_parts, 0),
+      test_count(num_parts, 0);
+  // Caps get 15% slack: blocks are coarse units, and a hard per-part cap
+  // would force late blocks into connectivity-blind fallback placement.
+  const auto cap = [&](size_t total) {
+    return static_cast<uint64_t>(
+               1.15 * static_cast<double>(total) / num_parts) +
+           1;
+  };
+  const uint64_t train_cap = cap(input.split.train.size());
+  const uint64_t val_cap = cap(input.split.val.size());
+  const uint64_t test_cap = cap(input.split.test.size());
+
+  std::vector<uint32_t> block_order(blocks.size());
+  for (uint32_t b = 0; b < blocks.size(); ++b) block_order[b] = b;
+  rng.Shuffle(block_order);
+
+  // ByteGNN scores a block against each partition by how much of the
+  // block's *multi-hop* neighborhood the partition already holds — the
+  // set-intersection-heavy computation that makes streaming partitioning
+  // time dominate (§5.3.3).
+  const size_t hood_cap = 4096;
+  for (uint32_t b : block_order) {
+    const std::vector<VertexId>& block = blocks[b];
+    uint64_t block_train = 0, block_val = 0, block_test = 0;
+    for (VertexId v : block) {
+      block_train += masks.is_train[v];
+      block_val += masks.is_val[v];
+      block_test += masks.is_test[v];
+    }
+    // Union of the block's 2-hop neighborhood (capped for hub blocks).
+    std::unordered_set<VertexId> hood;
+    for (VertexId v : block) {
+      for (VertexId u :
+           LHopNeighborhood(graph, v, /*hops=*/2, hood_cap)) {
+        hood.insert(u);
+        if (hood.size() >= hood_cap) break;
+      }
+      if (hood.size() >= hood_cap) break;
+    }
+    // Direct links weigh double (an edge into the partition is worth more
+    // than a 2-hop acquaintance), mirroring ByteGNN's locality score.
+    std::vector<uint64_t> link(num_parts, 0);
+    for (VertexId v : block) {
+      for (VertexId u : graph.neighbors(v)) {
+        uint32_t p = result.assignment[u];
+        if (p != UINT32_MAX) link[p] += 2;
+      }
+    }
+    for (VertexId u : hood) {
+      uint32_t p = result.assignment[u];
+      if (p != UINT32_MAX) ++link[p];
+    }
+    double best_score = -1.0;
+    uint32_t best_part = 0;
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      if (train_count[p] + block_train > train_cap) continue;
+      if (val_count[p] + block_val > val_cap) continue;
+      if (test_count[p] + block_test > test_cap) continue;
+      double balance = 1.0 - static_cast<double>(train_count[p]) /
+                                 static_cast<double>(train_cap);
+      double score = static_cast<double>(link[p]) + balance;
+      if (score > best_score) {
+        best_score = score;
+        best_part = p;
+      }
+    }
+    if (best_score < 0.0) {
+      // Every partition is at a labeled-vertex cap; fall back to the one
+      // with the fewest training vertices.
+      best_part = static_cast<uint32_t>(
+          std::min_element(train_count.begin(), train_count.end()) -
+          train_count.begin());
+    }
+    for (VertexId v : block) result.assignment[v] = best_part;
+    train_count[best_part] += block_train;
+    val_count[best_part] += block_val;
+    test_count[best_part] += block_test;
+  }
+
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gnndm

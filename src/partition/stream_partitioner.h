@@ -1,0 +1,54 @@
+#ifndef GNNDM_PARTITION_STREAM_PARTITIONER_H_
+#define GNNDM_PARTITION_STREAM_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace gnndm {
+
+/// Stream-V (PaGraph [24]): streams *training vertices*, assigning each to
+/// the eligible partition whose accumulated vertex set overlaps most with
+/// the vertex's L-hop neighborhood, under a training-vertex capacity cap.
+/// Each partition then *caches the full L-hop neighborhood* (structure and
+/// features) of its training vertices, so training needs no remote
+/// traffic (§5.3.2) — at the price of redundant storage, an expensive
+/// partitioning phase (set intersections, §5.3.3), and compute imbalance
+/// on power-law graphs (§5.3.1).
+class StreamVPartitioner : public Partitioner {
+ public:
+  /// `num_hops`: neighborhood depth cached per training vertex (the L of
+  /// the GNN; the paper trains 2-layer models).
+  explicit StreamVPartitioner(uint32_t num_hops = 2) : num_hops_(num_hops) {}
+
+  PartitionResult Partition(const PartitionInput& input, uint32_t num_parts,
+                            uint64_t seed) const override;
+  std::string name() const override { return "Stream-V"; }
+
+ private:
+  uint32_t num_hops_;
+};
+
+/// Stream-B (ByteGNN [68]): first grows small BFS *blocks* around labeled
+/// vertices, then streams blocks, assigning each to the partition with the
+/// most connecting edges while balancing train/val/test counts. Lower
+/// partitioning cost than Stream-V (blocks amortize the intersections) but
+/// still dominated by streaming set operations; reduces total
+/// communication yet ignores communication balance (§5.3.2).
+class StreamBPartitioner : public Partitioner {
+ public:
+  StreamBPartitioner(uint32_t block_depth = 3, uint32_t block_capacity = 64)
+      : block_depth_(block_depth), block_capacity_(block_capacity) {}
+
+  PartitionResult Partition(const PartitionInput& input, uint32_t num_parts,
+                            uint64_t seed) const override;
+  std::string name() const override { return "Stream-B"; }
+
+ private:
+  uint32_t block_depth_;
+  uint32_t block_capacity_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_PARTITION_STREAM_PARTITIONER_H_

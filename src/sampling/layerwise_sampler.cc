@@ -1,0 +1,89 @@
+#include "sampling/layerwise_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+LayerwiseSampler::LayerwiseSampler(std::vector<uint32_t> layer_budgets)
+    : budgets_(std::move(layer_budgets)) {
+  GNNDM_CHECK(!budgets_.empty());
+}
+
+SampledSubgraph LayerwiseSampler::Sample(const CsrGraph& graph,
+                                         const std::vector<VertexId>& seeds,
+                                         Rng& rng) const {
+  const uint32_t num_layers = this->num_layers();
+  SampledSubgraph sg;
+  sg.node_ids.resize(num_layers + 1);
+  sg.layers.resize(num_layers);
+  sg.node_ids[num_layers] = seeds;
+
+  for (uint32_t hop = 0; hop < num_layers; ++hop) {
+    const uint32_t dst_level = num_layers - hop;
+    const uint32_t src_level = dst_level - 1;
+    const std::vector<VertexId>& dst_ids = sg.node_ids[dst_level];
+
+    // Candidate pool: union of all dst neighborhoods, weighted by degree.
+    std::vector<VertexId> candidates;
+    std::unordered_set<VertexId> seen;
+    std::vector<double> weights;
+    for (VertexId dst : dst_ids) {
+      for (VertexId u : graph.neighbors(dst)) {
+        if (seen.insert(u).second) {
+          candidates.push_back(u);
+          weights.push_back(1.0 + graph.degree(u));
+        }
+      }
+    }
+
+    // Degree-proportional sampling of `budget` candidates without
+    // replacement, via exponential-race keys (Efraimidis–Spirakis).
+    const uint32_t budget =
+        std::min<uint32_t>(budgets_[hop],
+                           static_cast<uint32_t>(candidates.size()));
+    std::vector<std::pair<double, uint32_t>> keys(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double u = rng.UniformReal();
+      if (u <= 0.0) u = 1e-300;
+      keys[i] = {-std::log(u) / weights[i], static_cast<uint32_t>(i)};
+    }
+    std::partial_sort(keys.begin(), keys.begin() + budget, keys.end());
+
+    // Source level: dst copy first, then chosen candidates.
+    std::vector<VertexId>& src_ids = sg.node_ids[src_level];
+    src_ids = dst_ids;
+    std::unordered_map<VertexId, uint32_t> local_index;
+    for (uint32_t i = 0; i < dst_ids.size(); ++i) {
+      local_index.emplace(dst_ids[i], i);
+    }
+    for (uint32_t i = 0; i < budget; ++i) {
+      VertexId u = candidates[keys[i].second];
+      auto [it, inserted] =
+          local_index.emplace(u, static_cast<uint32_t>(src_ids.size()));
+      if (inserted) src_ids.push_back(u);
+    }
+
+    // Keep only the edges from chosen sources to each destination.
+    SampleLayer& layer = sg.layers[src_level];
+    layer.num_dst = static_cast<uint32_t>(dst_ids.size());
+    layer.offsets.assign(1, 0);
+    for (VertexId dst : dst_ids) {
+      for (VertexId u : graph.neighbors(dst)) {
+        auto it = local_index.find(u);
+        if (it != local_index.end()) {
+          layer.neighbors.push_back(it->second);
+        }
+      }
+      layer.offsets.push_back(
+          static_cast<uint32_t>(layer.neighbors.size()));
+    }
+    layer.num_src = static_cast<uint32_t>(src_ids.size());
+  }
+  return sg;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,37 @@
+#ifndef GNNDM_SAMPLING_LAYERWISE_SAMPLER_H_
+#define GNNDM_SAMPLING_LAYERWISE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
+
+namespace gnndm {
+
+/// Layer-wise (FastGCN-style) sampler: instead of sampling neighbors per
+/// vertex, each hop draws a fixed *budget* of vertices from the union of
+/// the frontier's neighborhoods, with probability proportional to degree
+/// (importance sampling). Avoids the exponential per-vertex expansion of
+/// vertex-wise sampling at the cost of ignoring per-vertex dependencies
+/// (§6.2 "Sampling Algorithms").
+class LayerwiseSampler {
+ public:
+  /// `layer_budgets` outermost-first, e.g. {512, 256} for a 2-layer GNN.
+  explicit LayerwiseSampler(std::vector<uint32_t> layer_budgets);
+
+  SampledSubgraph Sample(const CsrGraph& graph,
+                         const std::vector<VertexId>& seeds, Rng& rng) const;
+
+  uint32_t num_layers() const {
+    return static_cast<uint32_t>(budgets_.size());
+  }
+
+ private:
+  std::vector<uint32_t> budgets_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_SAMPLING_LAYERWISE_SAMPLER_H_

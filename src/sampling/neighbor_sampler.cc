@@ -1,0 +1,175 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+NeighborSampler::NeighborSampler(std::vector<HopSpec> hops)
+    : hops_(std::move(hops)) {
+  GNNDM_CHECK(!hops_.empty());
+}
+
+NeighborSampler NeighborSampler::WithFanouts(
+    const std::vector<uint32_t>& fanouts) {
+  std::vector<HopSpec> hops;
+  hops.reserve(fanouts.size());
+  for (uint32_t f : fanouts) hops.push_back(HopSpec::Fanout(f));
+  return NeighborSampler(std::move(hops));
+}
+
+NeighborSampler NeighborSampler::WithRate(double rate, uint32_t num_layers) {
+  std::vector<HopSpec> hops(num_layers, HopSpec::Rate(rate));
+  return NeighborSampler(std::move(hops));
+}
+
+namespace {
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis keys) of
+/// `k` neighbor positions, with weights given by each neighbor's degree
+/// (or its inverse).
+std::vector<uint32_t> WeightedPicks(const CsrGraph& graph,
+                                    std::span<const VertexId> nbrs,
+                                    uint32_t k, NeighborWeighting weighting,
+                                    Rng& rng) {
+  std::vector<std::pair<double, uint32_t>> keys(nbrs.size());
+  for (uint32_t i = 0; i < nbrs.size(); ++i) {
+    const double degree = 1.0 + graph.degree(nbrs[i]);
+    // Inverse weighting uses 1/deg^2 so a hub's many selection chances
+    // (one per adjacent expansion) do not cancel the down-weighting —
+    // expected accesses then genuinely concentrate on the tail.
+    const double weight =
+        weighting == NeighborWeighting::kDegreeProportional
+            ? degree
+            : 1.0 / (degree * degree);
+    double u = rng.UniformReal();
+    if (u <= 0.0) u = 1e-300;
+    keys[i] = {-std::log(u) / weight, i};
+  }
+  std::partial_sort(keys.begin(), keys.begin() + k, keys.end());
+  std::vector<uint32_t> picks(k);
+  for (uint32_t i = 0; i < k; ++i) picks[i] = keys[i].second;
+  return picks;
+}
+
+}  // namespace
+
+uint32_t NeighborSampler::SampleCount(const HopSpec& spec, uint32_t degree) {
+  if (degree == 0) return 0;
+  switch (spec.mode) {
+    case SampleSizeMode::kFanout:
+      return std::min(spec.fanout, degree);
+    case SampleSizeMode::kRate: {
+      auto k = static_cast<uint32_t>(
+          std::ceil(spec.rate * static_cast<double>(degree)));
+      return std::clamp<uint32_t>(k, 1, degree);
+    }
+    case SampleSizeMode::kHybrid:
+      if (degree <= spec.hybrid_degree_threshold) {
+        return std::min(spec.fanout, degree);
+      } else {
+        auto k = static_cast<uint32_t>(
+            std::ceil(spec.rate * static_cast<double>(degree)));
+        return std::clamp<uint32_t>(k, 1, degree);
+      }
+  }
+  return 0;
+}
+
+SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
+                                        const std::vector<VertexId>& seeds,
+                                        Rng& rng) const {
+  const uint32_t num_layers = this->num_layers();
+  SampledSubgraph sg;
+  sg.node_ids.resize(num_layers + 1);
+  sg.layers.resize(num_layers);
+  sg.node_ids[num_layers] = seeds;
+
+  // Walk hops from the seeds inward. hops_[0] applies to the seeds (the
+  // outermost hop), producing node level num_layers-1, and so on.
+  for (uint32_t hop = 0; hop < num_layers; ++hop) {
+    const HopSpec& spec = hops_[hop];
+    const uint32_t dst_level = num_layers - hop;
+    const uint32_t src_level = dst_level - 1;
+    const std::vector<VertexId>& dst_ids = sg.node_ids[dst_level];
+
+    // Source level starts with a copy of the destinations (self features
+    // must be available for COMBINE), then unique sampled neighbors.
+    std::vector<VertexId>& src_ids = sg.node_ids[src_level];
+    src_ids = dst_ids;
+    std::unordered_map<VertexId, uint32_t> local_index;
+    local_index.reserve(dst_ids.size() * 4);
+    for (uint32_t i = 0; i < dst_ids.size(); ++i) {
+      local_index.emplace(dst_ids[i], i);
+    }
+
+    SampleLayer& layer = sg.layers[src_level];
+    layer.num_dst = static_cast<uint32_t>(dst_ids.size());
+    layer.offsets.assign(1, 0);
+    layer.offsets.reserve(dst_ids.size() + 1);
+
+    for (VertexId dst : dst_ids) {
+      auto nbrs = graph.neighbors(dst);
+      const uint32_t degree = static_cast<uint32_t>(nbrs.size());
+      const uint32_t k = SampleCount(spec, degree);
+      if (k == degree) {
+        // Keep the whole neighborhood — no sampling needed.
+        for (VertexId u : nbrs) {
+          auto [it, inserted] = local_index.emplace(
+              u, static_cast<uint32_t>(src_ids.size()));
+          if (inserted) src_ids.push_back(u);
+          layer.neighbors.push_back(it->second);
+        }
+      } else {
+        std::vector<uint32_t> picks =
+            spec.weighting == NeighborWeighting::kUniform
+                ? rng.SampleWithoutReplacement(degree, k)
+                : WeightedPicks(graph, nbrs, k, spec.weighting, rng);
+        for (uint32_t pick : picks) {
+          VertexId u = nbrs[pick];
+          auto [it, inserted] = local_index.emplace(
+              u, static_cast<uint32_t>(src_ids.size()));
+          if (inserted) src_ids.push_back(u);
+          layer.neighbors.push_back(it->second);
+        }
+      }
+      layer.offsets.push_back(
+          static_cast<uint32_t>(layer.neighbors.size()));
+    }
+    layer.num_src = static_cast<uint32_t>(src_ids.size());
+  }
+  return sg;
+}
+
+std::string NeighborSampler::ToString() const {
+  std::ostringstream out;
+  switch (hops_[0].mode) {
+    case SampleSizeMode::kFanout: {
+      out << "fanout(";
+      for (size_t i = 0; i < hops_.size(); ++i) {
+        if (i) out << ",";
+        out << hops_[i].fanout;
+      }
+      out << ")";
+      break;
+    }
+    case SampleSizeMode::kRate:
+      out << "rate(" << hops_[0].rate << ")x" << hops_.size();
+      break;
+    case SampleSizeMode::kHybrid:
+      out << "hybrid(f=" << hops_[0].fanout << ",r=" << hops_[0].rate
+          << ",d<=" << hops_[0].hybrid_degree_threshold << ")x"
+          << hops_.size();
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace gnndm

@@ -1,0 +1,91 @@
+#include "sampling/randomwalk_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+RandomWalkSampler::RandomWalkSampler(std::vector<uint32_t> fanouts,
+                                     uint32_t num_walks,
+                                     uint32_t walk_length, double restart)
+    : fanouts_(std::move(fanouts)),
+      num_walks_(num_walks),
+      walk_length_(walk_length),
+      restart_(restart) {
+  GNNDM_CHECK(!fanouts_.empty());
+  GNNDM_CHECK(num_walks_ >= 1);
+  GNNDM_CHECK(walk_length_ >= 1);
+  GNNDM_CHECK(restart_ >= 0.0 && restart_ < 1.0);
+}
+
+std::vector<VertexId> RandomWalkSampler::ImportantNeighbors(
+    const CsrGraph& graph, VertexId start, uint32_t fanout, Rng& rng) const {
+  std::unordered_map<VertexId, uint32_t> visits;
+  for (uint32_t walk = 0; walk < num_walks_; ++walk) {
+    VertexId current = start;
+    for (uint32_t step = 0; step < walk_length_; ++step) {
+      auto nbrs = graph.neighbors(current);
+      if (nbrs.empty()) break;
+      current = nbrs[rng.UniformInt(nbrs.size())];
+      if (current != start) ++visits[current];
+      if (rng.Bernoulli(restart_)) current = start;
+    }
+  }
+  std::vector<std::pair<uint32_t, VertexId>> ranked;
+  ranked.reserve(visits.size());
+  for (const auto& [v, count] : visits) ranked.push_back({count, v});
+  const size_t keep = std::min<size_t>(fanout, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // deterministic ties
+                    });
+  std::vector<VertexId> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+SampledSubgraph RandomWalkSampler::Sample(const CsrGraph& graph,
+                                          const std::vector<VertexId>& seeds,
+                                          Rng& rng) const {
+  const uint32_t num_layers = this->num_layers();
+  SampledSubgraph sg;
+  sg.node_ids.resize(num_layers + 1);
+  sg.layers.resize(num_layers);
+  sg.node_ids[num_layers] = seeds;
+
+  for (uint32_t hop = 0; hop < num_layers; ++hop) {
+    const uint32_t dst_level = num_layers - hop;
+    const uint32_t src_level = dst_level - 1;
+    const std::vector<VertexId>& dst_ids = sg.node_ids[dst_level];
+
+    std::vector<VertexId>& src_ids = sg.node_ids[src_level];
+    src_ids = dst_ids;
+    std::unordered_map<VertexId, uint32_t> local_index;
+    for (uint32_t i = 0; i < dst_ids.size(); ++i) {
+      local_index.emplace(dst_ids[i], i);
+    }
+
+    SampleLayer& layer = sg.layers[src_level];
+    layer.num_dst = static_cast<uint32_t>(dst_ids.size());
+    layer.offsets.assign(1, 0);
+    for (VertexId dst : dst_ids) {
+      for (VertexId u :
+           ImportantNeighbors(graph, dst, fanouts_[hop], rng)) {
+        auto [it, inserted] =
+            local_index.emplace(u, static_cast<uint32_t>(src_ids.size()));
+        if (inserted) src_ids.push_back(u);
+        layer.neighbors.push_back(it->second);
+      }
+      layer.offsets.push_back(
+          static_cast<uint32_t>(layer.neighbors.size()));
+    }
+    layer.num_src = static_cast<uint32_t>(src_ids.size());
+  }
+  return sg;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,49 @@
+#ifndef GNNDM_SAMPLING_RANDOMWALK_SAMPLER_H_
+#define GNNDM_SAMPLING_RANDOMWALK_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
+
+namespace gnndm {
+
+/// PinSAGE-style random-walk neighbor sampler (Ying et al. [60], the
+/// third member of the paper's vertex-wise family): instead of sampling
+/// uniformly among direct neighbors, each destination runs short random
+/// walks with restart and keeps its `fanout` most-visited vertices as
+/// "important neighbors". The resulting hop can include multi-hop
+/// vertices, weighted by visit frequency — which is also why degree-based
+/// caching assumptions do not transfer to it (§7.3.3).
+class RandomWalkSampler {
+ public:
+  /// `fanouts` outermost-first as in NeighborSampler. Each destination
+  /// runs `num_walks` walks of `walk_length` steps with restart
+  /// probability `restart`.
+  RandomWalkSampler(std::vector<uint32_t> fanouts, uint32_t num_walks = 16,
+                    uint32_t walk_length = 3, double restart = 0.3);
+
+  SampledSubgraph Sample(const CsrGraph& graph,
+                         const std::vector<VertexId>& seeds, Rng& rng) const;
+
+  uint32_t num_layers() const {
+    return static_cast<uint32_t>(fanouts_.size());
+  }
+
+ private:
+  /// Top-`fanout` most-visited vertices over the walks from `start`.
+  std::vector<VertexId> ImportantNeighbors(const CsrGraph& graph,
+                                           VertexId start, uint32_t fanout,
+                                           Rng& rng) const;
+
+  std::vector<uint32_t> fanouts_;
+  uint32_t num_walks_;
+  uint32_t walk_length_;
+  double restart_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_SAMPLING_RANDOMWALK_SAMPLER_H_

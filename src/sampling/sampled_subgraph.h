@@ -1,0 +1,69 @@
+#ifndef GNNDM_SAMPLING_SAMPLED_SUBGRAPH_H_
+#define GNNDM_SAMPLING_SAMPLED_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gnndm {
+
+/// One hop of a sampled L-hop training subgraph, in message-flow-graph
+/// form (the "block" representation used by DGL/PyG backends): a bipartite
+/// CSR from source vertices (providers of layer-l features) to destination
+/// vertices (receivers computing layer-l+1 features). Indices are *local*
+/// — they index into the owning SampledSubgraph's node_ids arrays.
+struct SampleLayer {
+  /// offsets.size() == num_dst + 1; neighbors[offsets[i]..offsets[i+1])
+  /// are local source indices feeding destination i.
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> neighbors;
+  uint32_t num_src = 0;
+  uint32_t num_dst = 0;
+
+  uint64_t num_edges() const { return neighbors.size(); }
+};
+
+/// A sampled L-hop training subgraph rooted at a batch of seed (training)
+/// vertices. Built back-to-front: node_ids[L] are the seeds; node_ids[l]
+/// are the vertices whose layer-l representations are needed, with the
+/// invariant that node_ids[l] starts with a verbatim copy of
+/// node_ids[l+1] (every destination is also a source, so a vertex's own
+/// features are available for the COMBINE step of Eq. 2).
+///
+/// node_ids[0] — the *input vertices* — is the set whose raw feature rows
+/// must be extracted and transferred to the GPU; its size drives every
+/// data-transferring experiment in §7.
+struct SampledSubgraph {
+  /// node_ids.size() == num_layers + 1.
+  std::vector<std::vector<VertexId>> node_ids;
+  /// layers[l] aggregates node_ids[l] (sources) into node_ids[l+1]
+  /// (destinations); layers.size() == num_layers.
+  std::vector<SampleLayer> layers;
+
+  uint32_t num_layers() const {
+    return static_cast<uint32_t>(layers.size());
+  }
+  const std::vector<VertexId>& seeds() const { return node_ids.back(); }
+  const std::vector<VertexId>& input_vertices() const {
+    return node_ids.front();
+  }
+
+  /// Total vertices across all hop levels (with cross-level multiplicity —
+  /// the "involved #V" computational-load measure of Table 6).
+  uint64_t TotalVertices() const {
+    uint64_t total = 0;
+    for (const auto& ids : node_ids) total += ids.size();
+    return total;
+  }
+  /// Total sampled edges ("involved #E", the aggregation workload).
+  uint64_t TotalEdges() const {
+    uint64_t total = 0;
+    for (const auto& layer : layers) total += layer.num_edges();
+    return total;
+  }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_SAMPLING_SAMPLED_SUBGRAPH_H_

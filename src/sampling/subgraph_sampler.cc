@@ -1,0 +1,66 @@
+#include "sampling/subgraph_sampler.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+SubgraphSampler::SubgraphSampler(uint32_t walk_length, uint32_t num_layers)
+    : walk_length_(walk_length), num_layers_(num_layers) {
+  GNNDM_CHECK(num_layers_ >= 1);
+}
+
+SampledSubgraph SubgraphSampler::Sample(const CsrGraph& graph,
+                                        const std::vector<VertexId>& seeds,
+                                        Rng& rng) const {
+  // Collect vertices: seeds first (they must be the first num_dst entries
+  // at every level so logits line up with seed labels), then walk visits.
+  std::vector<VertexId> vertices = seeds;
+  std::unordered_map<VertexId, uint32_t> local_index;
+  local_index.reserve(seeds.size() * (walk_length_ + 1));
+  for (uint32_t i = 0; i < seeds.size(); ++i) {
+    local_index.emplace(seeds[i], i);
+  }
+  for (VertexId seed : seeds) {
+    VertexId current = seed;
+    for (uint32_t step = 0; step < walk_length_; ++step) {
+      auto nbrs = graph.neighbors(current);
+      if (nbrs.empty()) break;
+      current = nbrs[rng.UniformInt(nbrs.size())];
+      auto [it, inserted] = local_index.emplace(
+          current, static_cast<uint32_t>(vertices.size()));
+      if (inserted) vertices.push_back(current);
+      (void)it;
+    }
+  }
+
+  // Induced adjacency over `vertices` in local ids.
+  const uint32_t n = static_cast<uint32_t>(vertices.size());
+  SampleLayer induced;
+  induced.num_src = n;
+  induced.num_dst = n;
+  induced.offsets.assign(1, 0);
+  for (VertexId v : vertices) {
+    for (VertexId u : graph.neighbors(v)) {
+      auto it = local_index.find(u);
+      if (it != local_index.end()) induced.neighbors.push_back(it->second);
+    }
+    induced.offsets.push_back(
+        static_cast<uint32_t>(induced.neighbors.size()));
+  }
+
+  SampledSubgraph sg;
+  sg.node_ids.assign(num_layers_ + 1, vertices);
+  sg.layers.assign(num_layers_, induced);
+  // The final level only needs the seed vertices; trim it so downstream
+  // loss computation sees exactly the batch. All sources remain available.
+  sg.node_ids[num_layers_] = seeds;
+  sg.layers[num_layers_ - 1].num_dst = static_cast<uint32_t>(seeds.size());
+  sg.layers[num_layers_ - 1].offsets.resize(seeds.size() + 1);
+  sg.layers[num_layers_ - 1].neighbors.resize(
+      sg.layers[num_layers_ - 1].offsets[seeds.size()]);
+  return sg;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,36 @@
+#ifndef GNNDM_SAMPLING_SUBGRAPH_SAMPLER_H_
+#define GNNDM_SAMPLING_SUBGRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
+
+namespace gnndm {
+
+/// Subgraph-wise (GraphSAINT-style) sampler: random walks from the seeds
+/// collect a vertex set; training runs on the *induced* subgraph, so
+/// every GNN layer reuses the same adjacency and no neighborhood search
+/// leaves the subgraph (§6.2 "Sampling Algorithms").
+class SubgraphSampler {
+ public:
+  /// `walk_length` steps per seed; `num_layers` GNN layers to emit.
+  SubgraphSampler(uint32_t walk_length, uint32_t num_layers);
+
+  /// Returns a SampledSubgraph whose L layers all share the induced
+  /// adjacency over the walk-collected vertex set (seeds first).
+  SampledSubgraph Sample(const CsrGraph& graph,
+                         const std::vector<VertexId>& seeds, Rng& rng) const;
+
+  uint32_t num_layers() const { return num_layers_; }
+
+ private:
+  uint32_t walk_length_;
+  uint32_t num_layers_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_SAMPLING_SUBGRAPH_SAMPLER_H_

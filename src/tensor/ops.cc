@@ -1,0 +1,148 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
+  GNNDM_CHECK(a.cols() == b.rows());
+  out.Resize(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor& out) {
+  GNNDM_CHECK(a.rows() == b.rows());
+  out.Resize(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor& out) {
+  GNNDM_CHECK(a.cols() == b.cols());
+  out.Resize(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float sum = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      orow[j] = sum;
+    }
+  }
+}
+
+void AddBiasInPlace(Tensor& x, const Tensor& bias) {
+  GNNDM_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float* row = x.data() + i * x.cols();
+    for (size_t j = 0; j < x.cols(); ++j) row[j] += bias.at(0, j);
+  }
+}
+
+void SumRows(const Tensor& grad, Tensor& bias_grad) {
+  bias_grad.Resize(1, grad.cols());
+  for (size_t i = 0; i < grad.rows(); ++i) {
+    const float* row = grad.data() + i * grad.cols();
+    for (size_t j = 0; j < grad.cols(); ++j) bias_grad.at(0, j) += row[j];
+  }
+}
+
+void ReluInPlace(Tensor& x) {
+  float* p = x.data();
+  for (size_t i = 0; i < x.size(); ++i) p[i] = std::max(p[i], 0.0f);
+}
+
+void ReluBackwardInPlace(Tensor& grad, const Tensor& activation) {
+  GNNDM_CHECK(grad.rows() == activation.rows() &&
+              grad.cols() == activation.cols());
+  float* g = grad.data();
+  const float* a = activation.data();
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (a[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor& y) {
+  GNNDM_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (size_t i = 0; i < x.size(); ++i) yp[i] += alpha * xp[i];
+}
+
+void ScaleInPlace(Tensor& x, float alpha) {
+  float* p = x.data();
+  for (size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
+}
+
+double SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int32_t>& labels, Tensor& grad) {
+  GNNDM_CHECK(labels.size() == logits.rows());
+  grad.Resize(logits.rows(), logits.cols());
+  const size_t n = logits.rows(), c = logits.cols();
+  if (n == 0) return 0.0;
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* grow = grad.data() + i * c;
+    float max_logit = row[0];
+    for (size_t j = 1; j < c; ++j) max_logit = std::max(max_logit, row[j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < c; ++j) denom += std::exp(row[j] - max_logit);
+    const int32_t label = labels[i];
+    GNNDM_CHECK(label >= 0 && static_cast<size_t>(label) < c);
+    loss -= (row[label] - max_logit) - std::log(denom);
+    for (size_t j = 0; j < c; ++j) {
+      float p = static_cast<float>(std::exp(row[j] - max_logit) / denom);
+      grow[j] = (p - (static_cast<size_t>(label) == j ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> out(logits.rows());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.data() + i * logits.cols();
+    size_t best = 0;
+    for (size_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+void XavierInit(Tensor& w, Rng& rng) {
+  double s = std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+  float* p = w.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    p[i] = static_cast<float>((rng.UniformReal() * 2.0 - 1.0) * s);
+  }
+}
+
+}  // namespace gnndm

@@ -1,0 +1,24 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnndm {
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+double Tensor::Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace gnndm

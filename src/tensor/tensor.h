@@ -1,0 +1,68 @@
+#ifndef GNNDM_TENSOR_TENSOR_H_
+#define GNNDM_TENSOR_TENSOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gnndm {
+
+/// Dense row-major float32 matrix — the only tensor rank GNN mini-batch
+/// training needs (vertex-feature and weight matrices). Deliberately
+/// simple: no views, no broadcasting; all shape logic is explicit in the
+/// NN layers so the backward passes stay readable.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized [rows x cols] matrix.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero (keeps the shape).
+  void Zero() { Fill(0.0f); }
+
+  /// Resizes to [rows x cols], zeroing the contents.
+  void Resize(size_t rows, size_t cols);
+
+  /// Frobenius norm (sqrt of sum of squares).
+  double Norm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_TENSOR_TENSOR_H_

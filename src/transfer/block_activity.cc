@@ -1,0 +1,52 @@
+#include "transfer/block_activity.h"
+
+#include <algorithm>
+
+namespace gnndm {
+
+double BlockActivity::ExplicitBlockRatio(double threshold) const {
+  uint64_t active = 0;
+  uint64_t explicit_ok = 0;
+  for (double ratio : active_ratio) {
+    if (ratio <= 0.0) continue;
+    ++active;
+    if (ratio >= threshold) ++explicit_ok;
+  }
+  return active == 0 ? 0.0
+                     : static_cast<double>(explicit_ok) /
+                           static_cast<double>(active);
+}
+
+uint64_t BlockActivity::ActiveBlocks() const {
+  uint64_t active = 0;
+  for (double ratio : active_ratio) {
+    if (ratio > 0.0) ++active;
+  }
+  return active;
+}
+
+BlockActivity ComputeBlockActivity(const std::vector<VertexId>& vertices,
+                                   VertexId total_vertices,
+                                   uint64_t row_bytes,
+                                   const FeatureCache* cache,
+                                   uint64_t block_bytes) {
+  BlockActivity activity;
+  activity.rows_per_block = std::max<uint64_t>(1, block_bytes / row_bytes);
+  const uint64_t num_blocks =
+      (total_vertices + activity.rows_per_block - 1) /
+      activity.rows_per_block;
+  std::vector<uint64_t> active_rows(num_blocks, 0);
+  for (VertexId v : vertices) {
+    if (cache != nullptr && cache->Contains(v)) continue;
+    ++active_rows[v / activity.rows_per_block];
+  }
+  activity.active_ratio.resize(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    activity.active_ratio[b] =
+        static_cast<double>(active_rows[b]) /
+        static_cast<double>(activity.rows_per_block);
+  }
+  return activity;
+}
+
+}  // namespace gnndm

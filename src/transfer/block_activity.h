@@ -1,0 +1,41 @@
+#ifndef GNNDM_TRANSFER_BLOCK_ACTIVITY_H_
+#define GNNDM_TRANSFER_BLOCK_ACTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "transfer/feature_cache.h"
+
+namespace gnndm {
+
+/// Per-block activity of one batch's feature accesses, where the feature
+/// table is divided into fixed-size blocks (256 KB in the paper, following
+/// [30]). This is the analysis behind Figs 15–16, which decides whether
+/// hybrid (block-granular) transfer could help GNN training.
+struct BlockActivity {
+  /// active_ratio[b]: fraction of block b's rows accessed by the batch
+  /// (cache hits do not count — they need no transfer).
+  std::vector<double> active_ratio;
+  uint64_t rows_per_block = 0;
+
+  /// Fraction of *touched* blocks whose active ratio >= `threshold`
+  /// (the "suitable for explicit transfer" ratio of Fig 16).
+  double ExplicitBlockRatio(double threshold) const;
+  /// Number of blocks with any activity.
+  uint64_t ActiveBlocks() const;
+};
+
+/// Computes block activity for the feature rows `vertices` out of a table
+/// with `total_vertices` rows of `row_bytes` each. Vertices found in
+/// `cache` (may be null) are excluded — after caching, transfer only
+/// concerns misses.
+BlockActivity ComputeBlockActivity(const std::vector<VertexId>& vertices,
+                                   VertexId total_vertices,
+                                   uint64_t row_bytes,
+                                   const FeatureCache* cache,
+                                   uint64_t block_bytes = 256 * 1024);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_TRANSFER_BLOCK_ACTIVITY_H_

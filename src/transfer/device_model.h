@@ -1,0 +1,82 @@
+#ifndef GNNDM_TRANSFER_DEVICE_MODEL_H_
+#define GNNDM_TRANSFER_DEVICE_MODEL_H_
+
+#include <cstdint>
+
+namespace gnndm {
+
+/// Analytic cost model of the CPU–GPU heterogeneous node the paper's §7
+/// experiments run on (Tesla T4 behind PCIe 3.0 x16). No GPU exists in
+/// this environment, so data movement and kernel time advance a virtual
+/// clock using these calibrated rates; the *data volumes* they are applied
+/// to are computed from real sampled batches, which is what preserves the
+/// paper's result shapes (see DESIGN.md §1).
+struct DeviceModel {
+  /// DMA engine (cudaMemcpy) bandwidth over PCIe 3.0 x16.
+  double dma_bandwidth_bytes_per_sec = 16e9;
+  /// Fixed per-cudaMemcpy-call overhead (driver + launch).
+  double dma_latency_sec = 20e-6;
+
+  /// Effective zero-copy (UVA) bandwidth: GPU threads reading host memory
+  /// over PCIe sustain less than the DMA engine.
+  double zero_copy_bandwidth_bytes_per_sec = 12e9;
+  /// Per-feature-row access latency of fine-grained UVA reads.
+  double zero_copy_row_latency_sec = 60e-9;
+
+  /// CPU-side gather bandwidth for feature extraction (random reads into
+  /// a staging buffer — the "Extract" of Extract-Load).
+  double extract_bandwidth_bytes_per_sec = 6e9;
+  /// Per-row overhead of the gather (pointer chase + cache miss).
+  double extract_row_latency_sec = 80e-9;
+
+  /// GPU kernel throughput for the NN computation, in FLOP/s achieved.
+  double kernel_flops_per_sec = 2e12;
+  /// Fixed per-kernel-launch overhead (driver + scheduling). Small GNN/DNN
+  /// layers are launch-bound, which is what makes NN compute dominate DNN
+  /// training (Fig 2) even though the FLOP count is tiny.
+  double kernel_launch_sec = 20e-6;
+  /// CPU sampling throughput, in sampled edges per second (the paper's
+  /// testbed samples with 40 vCPUs; multi-threaded neighbor sampling
+  /// sustains tens of millions of edge draws per second).
+  double cpu_sample_edges_per_sec = 100e6;
+
+  /// GPU global memory (bounds the feature cache).
+  uint64_t gpu_memory_bytes = 16ull << 30;
+
+  /// --- Derived costs -----------------------------------------------
+
+  /// Seconds for one contiguous DMA transfer of `bytes`.
+  double DmaSeconds(uint64_t bytes) const {
+    return dma_latency_sec +
+           static_cast<double>(bytes) / dma_bandwidth_bytes_per_sec;
+  }
+  /// Seconds for the CPU to gather `rows` rows of `row_bytes` each.
+  double ExtractSeconds(uint64_t rows, uint64_t row_bytes) const {
+    return static_cast<double>(rows) * extract_row_latency_sec +
+           static_cast<double>(rows * row_bytes) /
+               extract_bandwidth_bytes_per_sec;
+  }
+  /// Seconds for the GPU to read `rows` scattered rows via zero-copy.
+  double ZeroCopySeconds(uint64_t rows, uint64_t row_bytes) const {
+    return static_cast<double>(rows) * zero_copy_row_latency_sec +
+           static_cast<double>(rows * row_bytes) /
+               zero_copy_bandwidth_bytes_per_sec;
+  }
+  /// Seconds for an NN step of `flops` floating point operations.
+  double KernelSeconds(double flops) const {
+    return flops / kernel_flops_per_sec;
+  }
+  /// Seconds for one forward+backward+update training step of `flops`
+  /// across `num_layers` layers (~3 kernel launches per layer).
+  double NnStepSeconds(double flops, uint32_t num_layers) const {
+    return KernelSeconds(flops) + 3.0 * num_layers * kernel_launch_sec;
+  }
+  /// Seconds for the CPU to sample `edges` edges.
+  double SampleSeconds(uint64_t edges) const {
+    return static_cast<double>(edges) / cpu_sample_edges_per_sec;
+  }
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_TRANSFER_DEVICE_MODEL_H_

@@ -1,0 +1,68 @@
+#include "transfer/feature_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "batch/batch_selector.h"
+#include "common/logging.h"
+
+namespace gnndm {
+
+namespace {
+
+/// Marks the `capacity` vertices with the highest `score` as cached.
+std::vector<uint8_t> TopKByScore(const std::vector<uint64_t>& score,
+                                 uint64_t capacity) {
+  const size_t n = score.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  capacity = std::min<uint64_t>(capacity, n);
+  std::partial_sort(order.begin(), order.begin() + capacity, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  std::vector<uint8_t> cached(n, 0);
+  for (uint64_t i = 0; i < capacity; ++i) cached[order[i]] = 1;
+  return cached;
+}
+
+}  // namespace
+
+FeatureCache FeatureCache::DegreeBased(const CsrGraph& graph,
+                                       uint64_t capacity_rows) {
+  std::vector<uint64_t> score(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    score[v] = graph.degree(v);
+  }
+  return FeatureCache("degree", TopKByScore(score, capacity_rows),
+                      capacity_rows);
+}
+
+FeatureCache FeatureCache::PreSampling(
+    const CsrGraph& graph, const std::vector<VertexId>& train_vertices,
+    const NeighborSampler& sampler, uint32_t batch_size,
+    uint32_t presample_batches, uint64_t capacity_rows, Rng& rng) {
+  std::vector<uint64_t> frequency(graph.num_vertices(), 0);
+  RandomBatchSelector selector;
+  uint32_t sampled = 0;
+  while (sampled < presample_batches) {
+    auto batches = selector.SelectEpoch(train_vertices, batch_size, rng);
+    for (const auto& batch : batches) {
+      SampledSubgraph sg = sampler.Sample(graph, batch, rng);
+      for (VertexId v : sg.input_vertices()) ++frequency[v];
+      if (++sampled >= presample_batches) break;
+    }
+  }
+  return FeatureCache("presample", TopKByScore(frequency, capacity_rows),
+                      capacity_rows);
+}
+
+double FeatureCache::HitRatio(const std::vector<VertexId>& vertices) const {
+  if (vertices.empty()) return 0.0;
+  uint64_t hits = 0;
+  for (VertexId v : vertices) hits += Contains(v) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(vertices.size());
+}
+
+}  // namespace gnndm

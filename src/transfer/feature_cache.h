@@ -1,0 +1,62 @@
+#ifndef GNNDM_TRANSFER_FEATURE_CACHE_H_
+#define GNNDM_TRANSFER_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gnndm {
+
+/// A static GPU-resident vertex-feature cache (§7.3.3). Population is
+/// decided once before training (both evaluated policies are static);
+/// lookups during training are O(1).
+class FeatureCache {
+ public:
+  /// An empty cache (all misses).
+  FeatureCache() = default;
+
+  /// Degree-based policy (PaGraph): cache the `capacity_rows` vertices
+  /// with the highest degree — betting that high-degree vertices are
+  /// sampled most often, which holds on power-law graphs only.
+  static FeatureCache DegreeBased(const CsrGraph& graph,
+                                  uint64_t capacity_rows);
+
+  /// Pre-sampling policy (GNNLab): run `presample_batches` sampling
+  /// rounds over random training batches, count per-vertex access
+  /// frequency, cache the hottest vertices. Robust across degree
+  /// distributions and sampling algorithms.
+  static FeatureCache PreSampling(const CsrGraph& graph,
+                                  const std::vector<VertexId>& train_vertices,
+                                  const NeighborSampler& sampler,
+                                  uint32_t batch_size,
+                                  uint32_t presample_batches,
+                                  uint64_t capacity_rows, Rng& rng);
+
+  bool Contains(VertexId v) const {
+    return v < cached_.size() && cached_[v] != 0;
+  }
+  uint64_t capacity_rows() const { return capacity_rows_; }
+  const std::string& policy() const { return policy_; }
+
+  /// Fraction of `vertices` served from the cache.
+  double HitRatio(const std::vector<VertexId>& vertices) const;
+
+ private:
+  FeatureCache(std::string policy, std::vector<uint8_t> cached,
+               uint64_t capacity_rows)
+      : policy_(std::move(policy)),
+        cached_(std::move(cached)),
+        capacity_rows_(capacity_rows) {}
+
+  std::string policy_ = "none";
+  std::vector<uint8_t> cached_;
+  uint64_t capacity_rows_ = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_TRANSFER_FEATURE_CACHE_H_

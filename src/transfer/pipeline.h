@@ -1,0 +1,56 @@
+#ifndef GNNDM_TRANSFER_PIPELINE_H_
+#define GNNDM_TRANSFER_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+namespace gnndm {
+
+/// Stage durations of one batch's training step, in (virtual) seconds.
+struct StageTimes {
+  double batch_prep = 0.0;     ///< sampling + batch assembly (CPU)
+  double data_transfer = 0.0;  ///< extract + PCIe (or UVA reads)
+  double nn_compute = 0.0;     ///< forward + backward + update (GPU)
+};
+
+/// The three pipeline configurations ablated in Fig 14.
+enum class PipelineMode {
+  /// Fully sequential: BP, DT, NN of batch b all finish before batch
+  /// b+1 starts (NeuGraph/P3/PaGraph style).
+  kNone,
+  /// Batch preparation overlaps with transfer+compute of earlier batches;
+  /// DT and NN still serialize with each other across batches.
+  kOverlapBp,
+  /// All three stages run on their own resource (CPU / PCIe / GPU) and
+  /// overlap across batches — the full pipeline of GNNLab/DistDGLv2.
+  kOverlapBpDt,
+};
+
+const char* PipelineModeName(PipelineMode mode);
+
+/// Result of simulating an epoch through the pipeline.
+struct PipelineResult {
+  double total_seconds = 0.0;
+  /// Busy time per resource (for utilization analysis).
+  double bp_busy = 0.0;
+  double dt_busy = 0.0;
+  double nn_busy = 0.0;
+
+  double BottleneckShare() const {
+    double busiest = bp_busy;
+    if (dt_busy > busiest) busiest = dt_busy;
+    if (nn_busy > busiest) busiest = nn_busy;
+    return total_seconds > 0.0 ? busiest / total_seconds : 0.0;
+  }
+};
+
+/// Event-driven simulation of the 3-stage training pipeline over an
+/// epoch's batches. Each resource (CPU sampler, PCIe, GPU) processes one
+/// batch at a time in order; `mode` controls which resources are allowed
+/// to work concurrently (§7.3.2).
+PipelineResult SimulatePipeline(const std::vector<StageTimes>& batches,
+                                PipelineMode mode);
+
+}  // namespace gnndm
+
+#endif  // GNNDM_TRANSFER_PIPELINE_H_

@@ -1,0 +1,111 @@
+#include "transfer/transfer_engine.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gnndm {
+
+void TransferEngine::Gather(const std::vector<VertexId>& vertices,
+                            const FeatureMatrix& features, Tensor& out) {
+  const uint32_t dim = features.dim();
+  out.Resize(vertices.size(), dim);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    auto src = features.row(vertices[i]);
+    auto dst = out.row(i);
+    for (uint32_t f = 0; f < dim; ++f) dst[f] = src[f];
+  }
+}
+
+namespace {
+
+uint64_t CountMisses(const std::vector<VertexId>& vertices,
+                     const FeatureCache* cache) {
+  if (cache == nullptr) return vertices.size();
+  uint64_t misses = 0;
+  for (VertexId v : vertices) misses += cache->Contains(v) ? 0 : 1;
+  return misses;
+}
+
+}  // namespace
+
+TransferStats ExtractLoadTransfer::Cost(
+    const std::vector<VertexId>& vertices, const FeatureMatrix& features,
+    const FeatureCache* cache) const {
+  TransferStats stats;
+  stats.rows_requested = vertices.size();
+  const uint64_t misses = CountMisses(vertices, cache);
+  stats.rows_from_cache = stats.rows_requested - misses;
+  const uint64_t row_bytes = features.BytesPerVertex();
+  stats.bytes_moved = misses * row_bytes;
+  stats.extract_seconds = device_.ExtractSeconds(misses, row_bytes);
+  stats.transfer_seconds =
+      misses == 0 ? 0.0 : device_.DmaSeconds(stats.bytes_moved);
+  return stats;
+}
+
+TransferStats ZeroCopyTransfer::Cost(
+    const std::vector<VertexId>& vertices, const FeatureMatrix& features,
+    const FeatureCache* cache) const {
+  TransferStats stats;
+  stats.rows_requested = vertices.size();
+  const uint64_t misses = CountMisses(vertices, cache);
+  stats.rows_from_cache = stats.rows_requested - misses;
+  const uint64_t row_bytes = features.BytesPerVertex();
+  stats.bytes_moved = misses * row_bytes;
+  stats.extract_seconds = 0.0;  // no CPU gather: UVA direct access
+  stats.transfer_seconds = device_.ZeroCopySeconds(misses, row_bytes);
+  return stats;
+}
+
+TransferStats HybridTransfer::Cost(const std::vector<VertexId>& vertices,
+                                   const FeatureMatrix& features,
+                                   const FeatureCache* cache) const {
+  TransferStats stats;
+  stats.rows_requested = vertices.size();
+  const uint64_t row_bytes = features.BytesPerVertex();
+  const uint64_t rows_per_block =
+      std::max<uint64_t>(1, block_bytes_ / row_bytes);
+
+  // Active (miss) rows per feature-table block.
+  std::unordered_map<uint64_t, uint64_t> block_active;
+  uint64_t misses = 0;
+  for (VertexId v : vertices) {
+    if (cache != nullptr && cache->Contains(v)) continue;
+    ++misses;
+    ++block_active[v / rows_per_block];
+  }
+  stats.rows_from_cache = stats.rows_requested - misses;
+
+  for (const auto& [block, active] : block_active) {
+    (void)block;
+    const double ratio =
+        static_cast<double>(active) / static_cast<double>(rows_per_block);
+    if (ratio >= threshold_) {
+      // Dense block: DMA the whole block (extract is skipped — the block
+      // is contiguous in host memory).
+      stats.transfer_seconds +=
+          device_.DmaSeconds(rows_per_block * row_bytes);
+      stats.bytes_moved += rows_per_block * row_bytes;
+    } else {
+      // Sparse block: fine-grained zero-copy reads of the active rows.
+      stats.transfer_seconds += device_.ZeroCopySeconds(active, row_bytes);
+      stats.bytes_moved += active * row_bytes;
+    }
+  }
+  return stats;
+}
+
+std::unique_ptr<TransferEngine> MakeTransferEngine(
+    const std::string& name, const DeviceModel& device) {
+  if (name == "extract-load") {
+    return std::make_unique<ExtractLoadTransfer>(device);
+  }
+  if (name == "zero-copy") return std::make_unique<ZeroCopyTransfer>(device);
+  if (name == "hybrid") {
+    return std::make_unique<HybridTransfer>(device, /*threshold=*/0.5);
+  }
+  return nullptr;
+}
+
+}  // namespace gnndm

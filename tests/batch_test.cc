@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batch/batch_schedule.h"
+#include "batch/batch_selector.h"
+#include "graph/generators.h"
+#include "partition/metis_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gnndm {
+namespace {
+
+std::vector<VertexId> Range(VertexId n) {
+  std::vector<VertexId> v(n);
+  for (VertexId i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+/// Flattened multiset of batch contents must equal the training set.
+void CheckCoverage(const std::vector<std::vector<VertexId>>& batches,
+                   const std::vector<VertexId>& train) {
+  std::vector<VertexId> flat;
+  for (const auto& batch : batches) {
+    flat.insert(flat.end(), batch.begin(), batch.end());
+  }
+  std::vector<VertexId> sorted_train = train;
+  std::sort(flat.begin(), flat.end());
+  std::sort(sorted_train.begin(), sorted_train.end());
+  EXPECT_EQ(flat, sorted_train);
+}
+
+TEST(RandomBatchSelectorTest, CoversEveryVertexOnce) {
+  RandomBatchSelector selector;
+  Rng rng(1);
+  std::vector<VertexId> train = Range(1000);
+  auto batches = selector.SelectEpoch(train, 128, rng);
+  EXPECT_EQ(batches.size(), 8u);  // ceil(1000/128)
+  CheckCoverage(batches, train);
+}
+
+TEST(RandomBatchSelectorTest, BatchSizesRespectLimit) {
+  RandomBatchSelector selector;
+  Rng rng(2);
+  auto batches = selector.SelectEpoch(Range(100), 32, rng);
+  for (size_t i = 0; i + 1 < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].size(), 32u);
+  }
+  EXPECT_EQ(batches.back().size(), 100u % 32);
+}
+
+TEST(RandomBatchSelectorTest, ShufflesBetweenEpochs) {
+  RandomBatchSelector selector;
+  Rng rng(3);
+  std::vector<VertexId> train = Range(256);
+  auto epoch1 = selector.SelectEpoch(train, 64, rng);
+  auto epoch2 = selector.SelectEpoch(train, 64, rng);
+  EXPECT_NE(epoch1[0], epoch2[0]);  // overwhelmingly likely
+}
+
+TEST(ClusterBatchSelectorTest, CoversEveryVertexOnce) {
+  CommunityGraph cg = GeneratePlantedPartition(800, 4, 10.0, 1.0, 4);
+  ClusterBatchSelector selector(cg.community);
+  Rng rng(5);
+  std::vector<VertexId> train = Range(800);
+  auto batches = selector.SelectEpoch(train, 100, rng);
+  CheckCoverage(batches, train);
+}
+
+TEST(ClusterBatchSelectorTest, BatchesAreClusterConcentrated) {
+  // With 8 clusters of 100 and batch size 100, cluster batches should be
+  // dominated by one cluster, unlike random selection.
+  CommunityGraph cg = GeneratePlantedPartition(800, 8, 10.0, 1.0, 6);
+  ClusterBatchSelector cluster_selector(cg.community);
+  RandomBatchSelector random_selector;
+  Rng rng(7);
+  std::vector<VertexId> train = Range(800);
+
+  auto dominant_share =
+      [&](const std::vector<std::vector<VertexId>>& batches) {
+        double total_share = 0.0;
+        for (const auto& batch : batches) {
+          std::vector<int> counts(8, 0);
+          for (VertexId v : batch) ++counts[cg.community[v]];
+          total_share +=
+              static_cast<double>(
+                  *std::max_element(counts.begin(), counts.end())) /
+              batch.size();
+        }
+        return total_share / batches.size();
+      };
+
+  double cluster_share =
+      dominant_share(cluster_selector.SelectEpoch(train, 100, rng));
+  double random_share =
+      dominant_share(random_selector.SelectEpoch(train, 100, rng));
+  EXPECT_GT(cluster_share, 0.9);  // nearly single-cluster batches
+  EXPECT_LT(random_share, 0.35);  // random is spread out (~1/8 + noise)
+}
+
+TEST(ClusterBatchSelectorTest, MetisClustersReduceSampledWork) {
+  // The Table 6 effect: cluster-based batches share neighbors, so the
+  // sampled subgraphs involve fewer vertices than random batches.
+  CommunityGraph cg = GeneratePowerLawCommunity(2000, 8, 20.0, 2.0, 8);
+  std::vector<uint32_t> clusters = MetisCluster(cg.graph, 16, 9);
+  ClusterBatchSelector cluster_selector(clusters);
+  RandomBatchSelector random_selector;
+  NeighborSampler sampler = NeighborSampler::WithFanouts({10, 10});
+
+  auto epoch_work = [&](const BatchSelector& selector, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<VertexId> train = Range(2000);
+    uint64_t vertices = 0;
+    for (const auto& batch : selector.SelectEpoch(train, 200, rng)) {
+      SampledSubgraph sg = sampler.Sample(cg.graph, batch, rng);
+      vertices += sg.TotalVertices();
+    }
+    return vertices;
+  };
+
+  EXPECT_LT(epoch_work(cluster_selector, 10),
+            epoch_work(random_selector, 10));
+}
+
+TEST(FixedBatchScheduleTest, ConstantAcrossEpochs) {
+  FixedBatchSchedule schedule(512);
+  for (uint32_t e : {0u, 1u, 100u}) {
+    EXPECT_EQ(schedule.BatchSizeForEpoch(e), 512u);
+  }
+  EXPECT_EQ(schedule.name(), "fixed(512)");
+}
+
+TEST(AdaptiveBatchScheduleTest, GrowsGeometricallyAndSaturates) {
+  AdaptiveBatchSchedule schedule(128, 1024, 2.0, 5);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(0), 128u);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(4), 128u);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(5), 256u);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(10), 512u);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(15), 1024u);
+  EXPECT_EQ(schedule.BatchSizeForEpoch(1000), 1024u);  // saturated
+}
+
+TEST(AdaptiveBatchScheduleTest, MonotoneNonDecreasing) {
+  AdaptiveBatchSchedule schedule(32, 8192, 1.5, 2);
+  uint32_t prev = 0;
+  for (uint32_t e = 0; e < 100; ++e) {
+    uint32_t size = schedule.BatchSizeForEpoch(e);
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+}
+
+}  // namespace
+}  // namespace gnndm

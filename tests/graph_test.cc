@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace gnndm {
+namespace {
+
+CsrGraph Triangle() {
+  return std::move(
+      CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value());
+}
+
+TEST(CsrGraphTest, BuildsSymmetricTriangle) {
+  CsrGraph g = Triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // symmetric: 3 undirected edges
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CsrGraphTest, RemovesSelfLoopsAndDuplicates) {
+  auto result = CsrGraph::FromEdges(
+      3, {{0, 1}, {0, 1}, {1, 0}, {2, 2}, {1, 2}});
+  ASSERT_TRUE(result.ok());
+  const CsrGraph& g = *result;
+  EXPECT_EQ(g.degree(0), 1u);  // only neighbor 1
+  EXPECT_EQ(g.degree(2), 1u);  // self loop dropped
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(CsrGraphTest, RejectsOutOfRangeEdge) {
+  auto result = CsrGraph::FromEdges(2, {{0, 5}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsrGraphTest, DirectedWhenNotSymmetrized) {
+  auto result =
+      CsrGraph::FromEdges(3, {{0, 1}, {0, 2}}, /*symmetrize=*/false);
+  ASSERT_TRUE(result.ok());
+  const CsrGraph& g = *result;
+  EXPECT_EQ(g.degree(1), 1u);  // in-neighbor 0
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(CsrGraphTest, NeighborsAreSorted) {
+  auto g = CsrGraph::FromEdges(5, {{4, 0}, {2, 0}, {3, 0}, {1, 0}});
+  ASSERT_TRUE(g.ok());
+  auto nbrs = g->neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(CsrGraphTest, InducedSubgraphKeepsInternalEdges) {
+  // Path 0-1-2-3; induce on {1, 2, 3}.
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  CsrGraph sub = g->InducedSubgraph({1, 2, 3});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 4u);  // 1-2 and 2-3, both directions
+  EXPECT_TRUE(sub.HasEdge(0, 1));  // local ids: 1->0, 2->1
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+TEST(GeneratorsTest, ErdosRenyiHasRequestedScale) {
+  CsrGraph g = GenerateErdosRenyi(1000, 5000, 1);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Symmetrized and deduplicated: close to 2 * 5000.
+  EXPECT_GT(g.num_edges(), 9000u);
+  EXPECT_LE(g.num_edges(), 10000u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiIsDeterministic) {
+  CsrGraph a = GenerateErdosRenyi(500, 2000, 42);
+  CsrGraph b = GenerateErdosRenyi(500, 2000, 42);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  CsrGraph rmat = GenerateRmat(4096, 40960, 3);
+  CsrGraph er = GenerateErdosRenyi(4096, 40960, 3);
+  EXPECT_GT(DegreeGini(rmat), DegreeGini(er) + 0.1);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertPowerLaw) {
+  CsrGraph g = GenerateBarabasiAlbert(2000, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_GT(DegreeGini(g), 0.3);
+  // Every vertex attached to >= 4 others (may be deduplicated slightly).
+  uint32_t min_degree = UINT32_MAX;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    min_degree = std::min(min_degree, g.degree(v));
+  }
+  EXPECT_GE(min_degree, 1u);
+}
+
+TEST(GeneratorsTest, PlantedPartitionFavorsIntraCommunityEdges) {
+  CommunityGraph cg = GeneratePlantedPartition(2000, 4, 18.0, 2.0, 7);
+  EXPECT_EQ(cg.community.size(), 2000u);
+  uint64_t intra = 0, inter = 0;
+  for (VertexId v = 0; v < cg.graph.num_vertices(); ++v) {
+    for (VertexId u : cg.graph.neighbors(v)) {
+      if (cg.community[u] == cg.community[v]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter * 4);
+}
+
+TEST(GeneratorsTest, PowerLawCommunityIsMoreSkewedThanPlanted) {
+  CommunityGraph planted = GeneratePlantedPartition(3000, 4, 20.0, 2.0, 9);
+  CommunityGraph power = GeneratePowerLawCommunity(3000, 4, 20.0, 2.0, 9);
+  EXPECT_GT(DegreeGini(power.graph), DegreeGini(planted.graph) + 0.1);
+}
+
+TEST(StatsTest, ClusteringCoefficientOfTriangleIsOne) {
+  CsrGraph g = Triangle();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(StatsTest, ClusteringCoefficientOfStarIsZero) {
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(*g, 0), 0.0);
+}
+
+TEST(StatsTest, SampledClusteringMatchesExactOnSmallDegree) {
+  CsrGraph g = Triangle();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(g, 0, 16, rng), 1.0);
+}
+
+TEST(StatsTest, VarianceAndImbalance) {
+  EXPECT_DOUBLE_EQ(Variance({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(Variance({1.0, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ImbalanceFactor({1.0, 1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(ImbalanceFactor({}), 1.0);
+}
+
+TEST(StatsTest, DegreeHistogramBucketsPowersOfTwo) {
+  // Degrees after symmetrization: star center 3, leaves 1.
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  std::vector<uint64_t> hist = DegreeHistogram(*g);
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 3u);  // three vertices with degree 1
+  EXPECT_EQ(hist[1], 1u);  // one vertex with degree 3 in [2,4)
+}
+
+TEST(StatsTest, SplitByDegreeUsesMedian) {
+  CsrGraph g = GenerateBarabasiAlbert(500, 3, 2);
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  DegreeClasses classes = SplitByDegree(g, all);
+  EXPECT_EQ(classes.low.size() + classes.high.size(), all.size());
+  for (VertexId v : classes.low) {
+    EXPECT_LE(g.degree(v), classes.threshold_degree);
+  }
+  for (VertexId v : classes.high) {
+    EXPECT_GT(g.degree(v), classes.threshold_degree);
+  }
+}
+
+TEST(DatasetTest, SplitRatiosRespected) {
+  VertexSplit split = MakeSplit(1000, 0.65, 0.10, 4);
+  EXPECT_EQ(split.train.size(), 650u);
+  EXPECT_EQ(split.val.size(), 100u);
+  EXPECT_EQ(split.test.size(), 250u);
+  std::set<VertexId> all;
+  all.insert(split.train.begin(), split.train.end());
+  all.insert(split.val.begin(), split.val.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 1000u);  // disjoint cover
+}
+
+TEST(DatasetTest, FeaturesCorrelateWithLabels) {
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 400; ++i) labels.push_back(i % 4);
+  FeatureMatrix f = MakeLabelCorrelatedFeatures(labels, 4, 16, 2.0, 5);
+  // Mean distance to own-class mean should be below distance to the
+  // global scatter: verify via within-class vs between-class variance.
+  std::vector<std::vector<double>> class_mean(4,
+                                              std::vector<double>(16, 0.0));
+  std::vector<int> counts(4, 0);
+  for (VertexId v = 0; v < 400; ++v) {
+    ++counts[labels[v]];
+    auto row = f.row(v);
+    for (int d = 0; d < 16; ++d) class_mean[labels[v]][d] += row[d];
+  }
+  for (int c = 0; c < 4; ++c) {
+    for (int d = 0; d < 16; ++d) class_mean[c][d] /= counts[c];
+  }
+  double within = 0.0;
+  for (VertexId v = 0; v < 400; ++v) {
+    auto row = f.row(v);
+    for (int d = 0; d < 16; ++d) {
+      double diff = row[d] - class_mean[labels[v]][d];
+      within += diff * diff;
+    }
+  }
+  double between = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    for (int c2 = c + 1; c2 < 4; ++c2) {
+      for (int d = 0; d < 16; ++d) {
+        double diff = class_mean[c][d] - class_mean[c2][d];
+        between += diff * diff;
+      }
+    }
+  }
+  EXPECT_GT(between, 1.0);  // centroids are separated
+  EXPECT_GT(within, 0.0);
+}
+
+TEST(DatasetTest, RegistryLoadsAllNames) {
+  for (const std::string& name : DatasetNames()) {
+    Result<Dataset> ds = LoadDataset(name, 1);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_EQ(ds->name, name);
+    EXPECT_GT(ds->graph.num_vertices(), 0u);
+    EXPECT_EQ(ds->labels.size(), ds->graph.num_vertices());
+    EXPECT_EQ(ds->features.num_vertices(), ds->graph.num_vertices());
+    EXPECT_GT(ds->num_classes, 0u);
+  }
+}
+
+TEST(DatasetTest, UnknownNameIsNotFound) {
+  Result<Dataset> ds = LoadDataset("no_such_dataset");
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, PowerLawFlagMatchesDegreeSkew) {
+  Result<Dataset> reddit = LoadDataset("reddit_s", 3);
+  Result<Dataset> papers = LoadDataset("papers_s", 3);
+  ASSERT_TRUE(reddit.ok() && papers.ok());
+  EXPECT_TRUE(reddit->power_law);
+  EXPECT_FALSE(papers->power_law);
+  EXPECT_GT(DegreeGini(reddit->graph), DegreeGini(papers->graph));
+}
+
+}  // namespace
+}  // namespace gnndm

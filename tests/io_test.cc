@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/dataset.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace gnndm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(EdgeListIoTest, RoundTripsGraph) {
+  CsrGraph original = GenerateErdosRenyi(200, 800, 1);
+  const std::string path = TempPath("graph.el");
+  ASSERT_TRUE(SaveEdgeList(original, path).ok());
+  Result<CsrGraph> loaded = LoadEdgeList(path, /*symmetrize=*/false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->offsets(), original.offsets());
+  EXPECT_EQ(loaded->adjacency(), original.adjacency());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, SkipsCommentsAndRejectsGarbage) {
+  const std::string path = TempPath("mixed.el");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# header comment\n0 1\n1 2\n", f);
+    std::fclose(f);
+  }
+  Result<CsrGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  std::remove(path.c_str());
+
+  const std::string bad = TempPath("bad.el");
+  {
+    FILE* f = std::fopen(bad.c_str(), "w");
+    std::fputs("zero one\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadEdgeList(bad).ok());
+  std::remove(bad.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileIsNotFound) {
+  Result<CsrGraph> loaded = LoadEdgeList("/nonexistent/path.el");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, RoundTripsFullDataset) {
+  Result<Dataset> original = LoadDataset("arxiv_s", 5);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("arxiv.gnndm");
+  ASSERT_TRUE(SaveDataset(*original, path).ok());
+
+  Result<Dataset> loaded = LoadDatasetFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, original->name);
+  EXPECT_EQ(loaded->graph.num_vertices(), original->graph.num_vertices());
+  EXPECT_EQ(loaded->graph.adjacency(), original->graph.adjacency());
+  EXPECT_EQ(loaded->features.dim(), original->features.dim());
+  EXPECT_EQ(loaded->features.data(), original->features.data());
+  EXPECT_EQ(loaded->labels, original->labels);
+  EXPECT_EQ(loaded->num_classes, original->num_classes);
+  EXPECT_EQ(loaded->power_law, original->power_law);
+  EXPECT_EQ(loaded->split.train, original->split.train);
+  EXPECT_EQ(loaded->split.val, original->split.val);
+  EXPECT_EQ(loaded->split.test, original->split.test);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("not_a_dataset.bin");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("BOGUS FILE CONTENT", f);
+    std::fclose(f);
+  }
+  Result<Dataset> loaded = LoadDatasetFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gnndm

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "graph/generators.h"
+#include "sampling/randomwalk_sampler.h"
+
+namespace gnndm {
+namespace {
+
+TEST(MetricsTest, PerfectPredictions) {
+  ClassificationMetrics metrics(3);
+  metrics.AddAll({0, 1, 2, 0}, {0, 1, 2, 0});
+  EXPECT_DOUBLE_EQ(metrics.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.MacroF1(), 1.0);
+  for (uint32_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(metrics.Precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.Recall(c), 1.0);
+  }
+}
+
+TEST(MetricsTest, KnownConfusionMatrix) {
+  // labels:      0 0 0 1 1 2
+  // predictions: 0 0 1 1 0 2
+  ClassificationMetrics metrics(3);
+  metrics.AddAll({0, 0, 1, 1, 0, 2}, {0, 0, 0, 1, 1, 2});
+  EXPECT_EQ(metrics.total(), 6u);
+  EXPECT_EQ(metrics.confusion(0, 0), 2u);
+  EXPECT_EQ(metrics.confusion(0, 1), 1u);
+  EXPECT_EQ(metrics.confusion(1, 0), 1u);
+  EXPECT_EQ(metrics.confusion(1, 1), 1u);
+  EXPECT_EQ(metrics.confusion(2, 2), 1u);
+  EXPECT_NEAR(metrics.Accuracy(), 4.0 / 6.0, 1e-12);
+  // Class 0: precision 2/3 (predicted 0 thrice), recall 2/3.
+  EXPECT_NEAR(metrics.Precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.Recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.F1(0), 2.0 / 3.0, 1e-12);
+  // Class 1: precision 1/2, recall 1/2.
+  EXPECT_NEAR(metrics.Precision(1), 0.5, 1e-12);
+  EXPECT_NEAR(metrics.Recall(1), 0.5, 1e-12);
+  // Class 2: perfect.
+  EXPECT_DOUBLE_EQ(metrics.F1(2), 1.0);
+}
+
+TEST(MetricsTest, AbsentClassYieldsZeroNotNan) {
+  ClassificationMetrics metrics(4);
+  metrics.AddAll({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(metrics.Precision(3), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Recall(3), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.F1(3), 0.0);
+  EXPECT_GE(metrics.MacroF1(), 0.0);
+}
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  ClassificationMetrics metrics(2);
+  EXPECT_DOUBLE_EQ(metrics.Accuracy(), 0.0);
+  EXPECT_EQ(metrics.total(), 0u);
+}
+
+TEST(MetricsTest, ConfusionRendering) {
+  ClassificationMetrics metrics(2);
+  metrics.Add(0, 1);
+  std::string rendered = metrics.ConfusionToString();
+  EXPECT_NE(rendered.find("label\\pred"), std::string::npos);
+  EXPECT_NE(rendered.find("1"), std::string::npos);
+}
+
+TEST(RandomWalkSamplerTest, InvariantsAndFanoutBound) {
+  CommunityGraph cg = GeneratePowerLawCommunity(800, 4, 14.0, 1.5, 41);
+  RandomWalkSampler sampler({5, 3}, /*num_walks=*/8, /*walk_length=*/3,
+                            /*restart=*/0.3);
+  Rng rng(42);
+  std::vector<VertexId> seeds{1, 100, 500};
+  SampledSubgraph sg = sampler.Sample(cg.graph, seeds, rng);
+  ASSERT_EQ(sg.num_layers(), 2u);
+  EXPECT_EQ(sg.seeds(), seeds);
+  for (uint32_t l = 0; l < 2; ++l) {
+    const SampleLayer& layer = sg.layers[l];
+    const auto& src = sg.node_ids[l];
+    const auto& dst = sg.node_ids[l + 1];
+    for (size_t i = 0; i < dst.size(); ++i) EXPECT_EQ(src[i], dst[i]);
+    // fanouts are outermost-first: layers[1] (dst = seeds) gets 5,
+    // layers[0] (innermost hop) gets 3.
+    const uint32_t fanout = l == 0 ? 3 : 5;
+    for (uint32_t i = 0; i < layer.num_dst; ++i) {
+      EXPECT_LE(layer.offsets[i + 1] - layer.offsets[i], fanout);
+    }
+  }
+}
+
+TEST(RandomWalkSamplerTest, CanReachBeyondDirectNeighbors) {
+  // Path graph 0-1-2-3-4: walks from 0 visit vertex 2+ even though it is
+  // not a direct neighbor — the PinSAGE multi-hop importance property.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  CsrGraph g = std::move(CsrGraph::FromEdges(5, std::move(edges)).value());
+  RandomWalkSampler sampler({4}, /*num_walks=*/64, /*walk_length=*/4,
+                            /*restart=*/0.1);
+  Rng rng(43);
+  SampledSubgraph sg = sampler.Sample(g, {0}, rng);
+  bool found_multi_hop = false;
+  for (VertexId v : sg.input_vertices()) {
+    if (v >= 2) found_multi_hop = true;
+  }
+  EXPECT_TRUE(found_multi_hop);
+}
+
+TEST(RandomWalkSamplerTest, IsolatedSeedProducesEmptyHop) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  RandomWalkSampler sampler({4});
+  Rng rng(44);
+  SampledSubgraph sg = sampler.Sample(*g, {2}, rng);
+  EXPECT_EQ(sg.TotalEdges(), 0u);
+  EXPECT_EQ(sg.input_vertices(), (std::vector<VertexId>{2}));
+}
+
+}  // namespace
+}  // namespace gnndm

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "graph/dataset.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "partition/analyzer.h"
+#include "partition/edge_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metis_partitioner.h"
+#include "partition/stream_partitioner.h"
+
+namespace gnndm {
+namespace {
+
+struct Workload {
+  CommunityGraph cg;
+  VertexSplit split;
+
+  explicit Workload(uint64_t seed, VertexId n = 2000) {
+    cg = GeneratePowerLawCommunity(n, 8, 16.0, 2.0, seed);
+    split = MakeSplit(n, 0.65, 0.10, seed + 1);
+  }
+  PartitionInput Input() const { return {cg.graph, split}; }
+};
+
+/// Common sanity checks for any PartitionResult.
+void CheckValid(const PartitionResult& result, VertexId n, uint32_t parts) {
+  EXPECT_EQ(result.num_parts, parts);
+  ASSERT_EQ(result.assignment.size(), n);
+  std::vector<uint64_t> counts(parts, 0);
+  for (uint32_t p : result.assignment) {
+    ASSERT_LT(p, parts);
+    ++counts[p];
+  }
+  for (uint64_t c : counts) EXPECT_GT(c, 0u);  // no empty partition
+}
+
+std::vector<double> TrainCounts(const PartitionResult& result,
+                                const VertexSplit& split) {
+  std::vector<double> counts(result.num_parts, 0.0);
+  for (VertexId v : split.train) ++counts[result.assignment[v]];
+  return counts;
+}
+
+TEST(HashPartitionerTest, BalancedAndDeterministic) {
+  Workload w(1);
+  HashPartitioner hash;
+  PartitionResult a = hash.Partition(w.Input(), 4, 7);
+  PartitionResult b = hash.Partition(w.Input(), 4, 7);
+  CheckValid(a, w.cg.graph.num_vertices(), 4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  // Random assignment: train vertices nearly balanced.
+  EXPECT_LT(ImbalanceFactor(TrainCounts(a, w.split)), 1.15);
+}
+
+TEST(HashPartitionerTest, DifferentSeedsGiveDifferentCuts) {
+  Workload w(2);
+  HashPartitioner hash;
+  PartitionResult a = hash.Partition(w.Input(), 4, 1);
+  PartitionResult b = hash.Partition(w.Input(), 4, 2);
+  EXPECT_NE(a.assignment, b.assignment);
+}
+
+TEST(MetisPartitionerTest, AllModesProduceValidBalancedPartitions) {
+  Workload w(3);
+  for (MetisMode mode : {MetisMode::kV, MetisMode::kVE, MetisMode::kVET}) {
+    MetisPartitioner metis(mode);
+    PartitionResult result = metis.Partition(w.Input(), 4, 11);
+    CheckValid(result, w.cg.graph.num_vertices(), 4);
+    // Primary constraint (training vertices) is balanced in every mode.
+    EXPECT_LT(ImbalanceFactor(TrainCounts(result, w.split)), 1.30)
+        << metis.name();
+  }
+}
+
+TEST(MetisPartitionerTest, CutsFarFewerEdgesThanHash) {
+  Workload w(4);
+  HashPartitioner hash;
+  MetisPartitioner metis(MetisMode::kV);
+  uint64_t hash_cut = hash.Partition(w.Input(), 4, 5).EdgeCut(w.cg.graph);
+  uint64_t metis_cut = metis.Partition(w.Input(), 4, 5).EdgeCut(w.cg.graph);
+  EXPECT_LT(metis_cut * 2, hash_cut);  // at least 2x fewer cut edges
+}
+
+TEST(MetisPartitionerTest, VeBalancesEdgesBetterThanV) {
+  // Adversarial graph for the V-vs-VE contrast: 4 dense communities and
+  // 4 sparse ones, equal sizes. Balancing only training vertices (V) can
+  // group dense communities together; the degree constraint (VE) cannot.
+  const VertexId kCommunitySize = 250;
+  const VertexId n = 8 * kCommunitySize;
+  Rng rng(123);
+  std::vector<Edge> edges;
+  for (uint32_t c = 0; c < 8; ++c) {
+    const VertexId base = c * kCommunitySize;
+    const uint64_t community_edges =
+        (c < 4) ? 250 * 20 : 250 * 2;  // dense vs sparse
+    for (uint64_t e = 0; e < community_edges; ++e) {
+      VertexId u = base + static_cast<VertexId>(
+                              rng.UniformInt(kCommunitySize));
+      VertexId v = base + static_cast<VertexId>(
+                              rng.UniformInt(kCommunitySize));
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  // Sparse cross-community links so the graph is connected.
+  for (int e = 0; e < 800; ++e) {
+    edges.push_back({static_cast<VertexId>(rng.UniformInt(n)),
+                     static_cast<VertexId>(rng.UniformInt(n))});
+  }
+  CsrGraph graph =
+      std::move(CsrGraph::FromEdges(n, std::move(edges)).value());
+  VertexSplit split = MakeSplit(n, 0.65, 0.10, 5);
+
+  auto edge_imbalance = [&](const PartitionResult& result) {
+    std::vector<double> degree_sums(result.num_parts, 0.0);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      degree_sums[result.assignment[v]] += graph.degree(v);
+    }
+    return ImbalanceFactor(degree_sums);
+  };
+  MetisPartitioner metis_v(MetisMode::kV);
+  MetisPartitioner metis_ve(MetisMode::kVE);
+  double v_imbalance =
+      edge_imbalance(metis_v.Partition({graph, split}, 4, 6));
+  double ve_imbalance =
+      edge_imbalance(metis_ve.Partition({graph, split}, 4, 6));
+  EXPECT_LT(ve_imbalance, v_imbalance);
+  EXPECT_LT(ve_imbalance, 1.25);
+}
+
+TEST(MetisPartitionerTest, VetBalancesValAndTest) {
+  Workload w(6);
+  MetisPartitioner metis(MetisMode::kVET);
+  PartitionResult result = metis.Partition(w.Input(), 4, 7);
+  std::vector<double> val_counts(4, 0.0), test_counts(4, 0.0);
+  for (VertexId v : w.split.val) ++val_counts[result.assignment[v]];
+  for (VertexId v : w.split.test) ++test_counts[result.assignment[v]];
+  EXPECT_LT(ImbalanceFactor(val_counts), 1.35);
+  EXPECT_LT(ImbalanceFactor(test_counts), 1.35);
+}
+
+TEST(MetisPartitionerTest, SinglePartIsTrivial) {
+  Workload w(7, 500);
+  MetisPartitioner metis(MetisMode::kV);
+  PartitionResult result = metis.Partition(w.Input(), 1, 8);
+  for (uint32_t p : result.assignment) EXPECT_EQ(p, 0u);
+  EXPECT_EQ(result.EdgeCut(w.cg.graph), 0u);
+}
+
+TEST(MetisClusterTest, BalancedClustersWithLowCut) {
+  CommunityGraph cg = GeneratePlantedPartition(1200, 6, 12.0, 1.0, 9);
+  std::vector<uint32_t> clusters = MetisCluster(cg.graph, 6, 10);
+  std::vector<double> sizes(6, 0.0);
+  for (uint32_t c : clusters) {
+    ASSERT_LT(c, 6u);
+    ++sizes[c];
+  }
+  EXPECT_LT(ImbalanceFactor(sizes), 1.3);
+  // Clusters should roughly recover the planted communities: the cut
+  // should be far below a random 6-way split (~5/6 of edges).
+  uint64_t cut = 0;
+  for (VertexId v = 0; v < cg.graph.num_vertices(); ++v) {
+    for (VertexId u : cg.graph.neighbors(v)) {
+      if (clusters[u] != clusters[v]) ++cut;
+    }
+  }
+  EXPECT_LT(static_cast<double>(cut) / cg.graph.num_edges(), 0.5);
+}
+
+TEST(StreamVPartitionerTest, BalancesTrainVerticesAndFillsHalo) {
+  Workload w(11, 1200);
+  StreamVPartitioner stream(2);
+  PartitionResult result = stream.Partition(w.Input(), 4, 12);
+  CheckValid(result, w.cg.graph.num_vertices(), 4);
+  EXPECT_LT(ImbalanceFactor(TrainCounts(result, w.split)), 1.2);
+  // Halos exist (L-hop caching) and every halo vertex is owned elsewhere.
+  ASSERT_EQ(result.halo.size(), 4u);
+  uint64_t total_halo = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    total_halo += result.halo[p].size();
+    for (VertexId v : result.halo[p]) {
+      EXPECT_NE(result.assignment[v], p);
+    }
+  }
+  EXPECT_GT(total_halo, 0u);
+}
+
+TEST(StreamBPartitionerTest, ValidAndTrainBalanced) {
+  Workload w(13, 1200);
+  StreamBPartitioner stream;
+  PartitionResult result = stream.Partition(w.Input(), 4, 14);
+  CheckValid(result, w.cg.graph.num_vertices(), 4);
+  EXPECT_LT(ImbalanceFactor(TrainCounts(result, w.split)), 1.35);
+}
+
+TEST(StreamBPartitionerTest, CutsFewerEdgesThanHash) {
+  Workload w(15, 1500);
+  HashPartitioner hash;
+  StreamBPartitioner stream;
+  uint64_t hash_cut = hash.Partition(w.Input(), 4, 16).EdgeCut(w.cg.graph);
+  uint64_t stream_cut =
+      stream.Partition(w.Input(), 4, 16).EdgeCut(w.cg.graph);
+  EXPECT_LT(stream_cut, hash_cut);
+}
+
+TEST(AnalyzerTest, HashHasHighestTotalsButBestBalance) {
+  // The headline Fig 4/5 contrast in miniature.
+  Workload w(17, 1500);
+  NeighborSampler sampler = NeighborSampler::WithFanouts({5, 5});
+  AnalyzerOptions options;
+  options.batch_size = 128;
+
+  HashPartitioner hash;
+  MetisPartitioner metis(MetisMode::kV);
+  PartitionLoadReport hash_report = AnalyzePartition(
+      w.cg.graph, w.split, hash.Partition(w.Input(), 4, 18), sampler,
+      options);
+  PartitionLoadReport metis_report = AnalyzePartition(
+      w.cg.graph, w.split, metis.Partition(w.Input(), 4, 18), sampler,
+      options);
+
+  EXPECT_GT(hash_report.TotalCommunication(),
+            metis_report.TotalCommunication());
+  EXPECT_LT(hash_report.CommunicationImbalance(),
+            metis_report.CommunicationImbalance() + 0.3);
+  EXPECT_LT(hash_report.ComputationImbalance(), 1.3);
+}
+
+TEST(AnalyzerTest, StreamVHasZeroCommunication) {
+  Workload w(19, 1000);
+  NeighborSampler sampler = NeighborSampler::WithFanouts({5, 5});
+  StreamVPartitioner stream(2);
+  AnalyzerOptions options;
+  options.batch_size = 128;
+  PartitionLoadReport report = AnalyzePartition(
+      w.cg.graph, w.split, stream.Partition(w.Input(), 4, 20), sampler,
+      options);
+  // PaGraph caches the full 2-hop neighborhoods, so a 2-layer sampler
+  // never needs remote data.
+  EXPECT_EQ(report.TotalCommunication(), 0u);
+}
+
+TEST(AnalyzerTest, ReportsClusteringVariance) {
+  Workload w(21, 1000);
+  NeighborSampler sampler = NeighborSampler::WithFanouts({4, 4});
+  HashPartitioner hash;
+  AnalyzerOptions options;
+  options.batch_size = 256;
+  PartitionLoadReport report = AnalyzePartition(
+      w.cg.graph, w.split, hash.Partition(w.Input(), 4, 22), sampler,
+      options);
+  ASSERT_EQ(report.clustering_coeff.size(), 4u);
+  EXPECT_GE(report.clustering_coeff_variance, 0.0);
+  // Hash partitions are statistically identical => tiny variance.
+  EXPECT_LT(report.clustering_coeff_variance, 1e-3);
+}
+
+TEST(EdgeHashPartitionerTest, ReplicatesIncidentVertices) {
+  Workload w(23, 800);
+  EdgeHashPartitioner edge_hash;
+  PartitionResult result = edge_hash.Partition(w.Input(), 4, 24);
+  CheckValid(result, w.cg.graph.num_vertices(), 4);
+  ASSERT_EQ(result.halo.size(), 4u);
+  // Vertex-cut partitioning replicates heavily on connected graphs.
+  uint64_t replicas = 0;
+  for (const auto& halo : result.halo) replicas += halo.size();
+  EXPECT_GT(replicas, w.cg.graph.num_vertices());
+  // Every replica is a real vertex and not the master's own copy.
+  for (uint32_t p = 0; p < 4; ++p) {
+    for (VertexId v : result.halo[p]) {
+      EXPECT_LT(v, w.cg.graph.num_vertices());
+      EXPECT_NE(result.assignment[v], p);
+    }
+  }
+}
+
+TEST(EdgeHashPartitionerTest, StorageShowsReplicationFactor) {
+  Workload w(25, 800);
+  EdgeHashPartitioner edge_hash;
+  HashPartitioner vertex_hash;
+  StorageReport edge_storage = AnalyzeStorage(
+      w.cg.graph, edge_hash.Partition(w.Input(), 4, 26), 128);
+  StorageReport vertex_storage = AnalyzeStorage(
+      w.cg.graph, vertex_hash.Partition(w.Input(), 4, 26), 128);
+  EXPECT_DOUBLE_EQ(vertex_storage.replication_factor, 1.0);
+  EXPECT_GT(edge_storage.replication_factor, 1.5);
+}
+
+TEST(PartitionResultTest, HelpersFilterAndEnumerate) {
+  PartitionResult result;
+  result.num_parts = 2;
+  result.assignment = {0, 1, 0, 1, 0};
+  EXPECT_EQ(result.PartitionVertices(0),
+            (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(result.Filter({1, 2, 3}, 1), (std::vector<VertexId>{1, 3}));
+}
+
+TEST(RoleMasksTest, MarksEachSplit) {
+  VertexSplit split;
+  split.train = {0, 1};
+  split.val = {2};
+  split.test = {3};
+  RoleMasks masks = MakeRoleMasks(5, split);
+  EXPECT_EQ(masks.is_train[0], 1);
+  EXPECT_EQ(masks.is_val[2], 1);
+  EXPECT_EQ(masks.is_test[3], 1);
+  EXPECT_EQ(masks.is_train[4] + masks.is_val[4] + masks.is_test[4], 0);
+}
+
+}  // namespace
+}  // namespace gnndm
