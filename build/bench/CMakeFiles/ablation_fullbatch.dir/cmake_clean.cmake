@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fullbatch.dir/ablation_fullbatch.cc.o"
+  "CMakeFiles/ablation_fullbatch.dir/ablation_fullbatch.cc.o.d"
+  "ablation_fullbatch"
+  "ablation_fullbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fullbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

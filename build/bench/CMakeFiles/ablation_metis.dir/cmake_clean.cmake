@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metis.dir/ablation_metis.cc.o"
+  "CMakeFiles/ablation_metis.dir/ablation_metis.cc.o.d"
+  "ablation_metis"
+  "ablation_metis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_algorithms.dir/ablation_sampling_algorithms.cc.o"
+  "CMakeFiles/ablation_sampling_algorithms.dir/ablation_sampling_algorithms.cc.o.d"
+  "ablation_sampling_algorithms"
+  "ablation_sampling_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

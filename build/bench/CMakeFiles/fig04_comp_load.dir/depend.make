@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_comp_load.
+# This may be replaced when dependencies are built.

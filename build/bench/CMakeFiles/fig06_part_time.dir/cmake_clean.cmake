@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_part_time.dir/fig06_part_time.cc.o"
+  "CMakeFiles/fig06_part_time.dir/fig06_part_time.cc.o.d"
+  "fig06_part_time"
+  "fig06_part_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_part_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

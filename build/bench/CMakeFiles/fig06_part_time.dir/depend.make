@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_part_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adaptive_batch.dir/fig10_adaptive_batch.cc.o"
+  "CMakeFiles/fig10_adaptive_batch.dir/fig10_adaptive_batch.cc.o.d"
+  "fig10_adaptive_batch"
+  "fig10_adaptive_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adaptive_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_batch_selection.dir/fig11_batch_selection.cc.o"
+  "CMakeFiles/fig11_batch_selection.dir/fig11_batch_selection.cc.o.d"
+  "fig11_batch_selection"
+  "fig11_batch_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_batch_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fanout_rate.dir/fig12_fanout_rate.cc.o"
+  "CMakeFiles/fig12_fanout_rate.dir/fig12_fanout_rate.cc.o.d"
+  "fig12_fanout_rate"
+  "fig12_fanout_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fanout_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

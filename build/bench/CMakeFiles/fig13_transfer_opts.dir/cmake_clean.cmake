@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_transfer_opts.dir/fig13_transfer_opts.cc.o"
+  "CMakeFiles/fig13_transfer_opts.dir/fig13_transfer_opts.cc.o.d"
+  "fig13_transfer_opts"
+  "fig13_transfer_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_transfer_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

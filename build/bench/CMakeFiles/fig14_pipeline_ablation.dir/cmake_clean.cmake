@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pipeline_ablation.dir/fig14_pipeline_ablation.cc.o"
+  "CMakeFiles/fig14_pipeline_ablation.dir/fig14_pipeline_ablation.cc.o.d"
+  "fig14_pipeline_ablation"
+  "fig14_pipeline_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pipeline_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_active_blocks.cc" "bench/CMakeFiles/fig15_active_blocks.dir/fig15_active_blocks.cc.o" "gcc" "bench/CMakeFiles/fig15_active_blocks.dir/fig15_active_blocks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gnndm_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/gnndm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnndm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gnndm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/gnndm_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gnndm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/gnndm_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnndm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnndm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnndm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnndm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_active_blocks.dir/fig15_active_blocks.cc.o"
+  "CMakeFiles/fig15_active_blocks.dir/fig15_active_blocks.cc.o.d"
+  "fig15_active_blocks"
+  "fig15_active_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_active_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/gnndm_bench_util.dir/bench_util.cc.o.d"
+  "libgnndm_bench_util.a"
+  "libgnndm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_degree_accuracy.dir/table07_degree_accuracy.cc.o"
+  "CMakeFiles/table07_degree_accuracy.dir/table07_degree_accuracy.cc.o.d"
+  "table07_degree_accuracy"
+  "table07_degree_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_degree_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_hybrid_sampling.dir/table08_hybrid_sampling.cc.o"
+  "CMakeFiles/table08_hybrid_sampling.dir/table08_hybrid_sampling.cc.o.d"
+  "table08_hybrid_sampling"
+  "table08_hybrid_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_hybrid_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_taxonomy.dir/table_taxonomy.cc.o"
+  "CMakeFiles/table_taxonomy.dir/table_taxonomy.cc.o.d"
+  "table_taxonomy"
+  "table_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

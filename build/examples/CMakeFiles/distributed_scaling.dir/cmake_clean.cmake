@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_scaling.dir/distributed_scaling.cpp.o"
+  "CMakeFiles/distributed_scaling.dir/distributed_scaling.cpp.o.d"
+  "distributed_scaling"
+  "distributed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/batch_schedule.cc" "src/batch/CMakeFiles/gnndm_batch.dir/batch_schedule.cc.o" "gcc" "src/batch/CMakeFiles/gnndm_batch.dir/batch_schedule.cc.o.d"
+  "/root/repo/src/batch/batch_selector.cc" "src/batch/CMakeFiles/gnndm_batch.dir/batch_selector.cc.o" "gcc" "src/batch/CMakeFiles/gnndm_batch.dir/batch_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnndm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnndm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_batch.dir/batch_schedule.cc.o"
+  "CMakeFiles/gnndm_batch.dir/batch_schedule.cc.o.d"
+  "CMakeFiles/gnndm_batch.dir/batch_selector.cc.o"
+  "CMakeFiles/gnndm_batch.dir/batch_selector.cc.o.d"
+  "libgnndm_batch.a"
+  "libgnndm_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_common.dir/flags.cc.o"
+  "CMakeFiles/gnndm_common.dir/flags.cc.o.d"
+  "CMakeFiles/gnndm_common.dir/logging.cc.o"
+  "CMakeFiles/gnndm_common.dir/logging.cc.o.d"
+  "CMakeFiles/gnndm_common.dir/rng.cc.o"
+  "CMakeFiles/gnndm_common.dir/rng.cc.o.d"
+  "CMakeFiles/gnndm_common.dir/status.cc.o"
+  "CMakeFiles/gnndm_common.dir/status.cc.o.d"
+  "CMakeFiles/gnndm_common.dir/table.cc.o"
+  "CMakeFiles/gnndm_common.dir/table.cc.o.d"
+  "CMakeFiles/gnndm_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gnndm_common.dir/thread_pool.cc.o.d"
+  "libgnndm_common.a"
+  "libgnndm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_core.dir/async_loader.cc.o"
+  "CMakeFiles/gnndm_core.dir/async_loader.cc.o.d"
+  "CMakeFiles/gnndm_core.dir/convergence.cc.o"
+  "CMakeFiles/gnndm_core.dir/convergence.cc.o.d"
+  "CMakeFiles/gnndm_core.dir/full_batch.cc.o"
+  "CMakeFiles/gnndm_core.dir/full_batch.cc.o.d"
+  "CMakeFiles/gnndm_core.dir/metrics.cc.o"
+  "CMakeFiles/gnndm_core.dir/metrics.cc.o.d"
+  "CMakeFiles/gnndm_core.dir/trainer.cc.o"
+  "CMakeFiles/gnndm_core.dir/trainer.cc.o.d"
+  "libgnndm_core.a"
+  "libgnndm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_dist.dir/dist_trainer.cc.o"
+  "CMakeFiles/gnndm_dist.dir/dist_trainer.cc.o.d"
+  "libgnndm_dist.a"
+  "libgnndm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

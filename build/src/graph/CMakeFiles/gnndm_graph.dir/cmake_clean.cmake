@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/gnndm_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/gnndm_graph.dir/dataset.cc.o"
+  "CMakeFiles/gnndm_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/gnndm_graph.dir/generators.cc.o"
+  "CMakeFiles/gnndm_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gnndm_graph.dir/io.cc.o"
+  "CMakeFiles/gnndm_graph.dir/io.cc.o.d"
+  "CMakeFiles/gnndm_graph.dir/stats.cc.o"
+  "CMakeFiles/gnndm_graph.dir/stats.cc.o.d"
+  "libgnndm_graph.a"
+  "libgnndm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

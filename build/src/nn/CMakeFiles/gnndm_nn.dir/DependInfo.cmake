@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/aggregate.cc" "src/nn/CMakeFiles/gnndm_nn.dir/aggregate.cc.o" "gcc" "src/nn/CMakeFiles/gnndm_nn.dir/aggregate.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/gnndm_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/gnndm_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/gnndm_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/gnndm_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/gnndm_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/gnndm_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/gnndm_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/gnndm_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnndm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnndm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnndm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnndm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

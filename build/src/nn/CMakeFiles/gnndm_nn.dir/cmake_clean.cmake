@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_nn.dir/aggregate.cc.o"
+  "CMakeFiles/gnndm_nn.dir/aggregate.cc.o.d"
+  "CMakeFiles/gnndm_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/gnndm_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/gnndm_nn.dir/layers.cc.o"
+  "CMakeFiles/gnndm_nn.dir/layers.cc.o.d"
+  "CMakeFiles/gnndm_nn.dir/model.cc.o"
+  "CMakeFiles/gnndm_nn.dir/model.cc.o.d"
+  "CMakeFiles/gnndm_nn.dir/optimizer.cc.o"
+  "CMakeFiles/gnndm_nn.dir/optimizer.cc.o.d"
+  "libgnndm_nn.a"
+  "libgnndm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

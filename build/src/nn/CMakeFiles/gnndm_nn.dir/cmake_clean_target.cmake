@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnndm_nn.a"
+)

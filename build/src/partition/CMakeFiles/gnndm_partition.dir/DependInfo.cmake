@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/analyzer.cc" "src/partition/CMakeFiles/gnndm_partition.dir/analyzer.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/analyzer.cc.o.d"
+  "/root/repo/src/partition/edge_partitioner.cc" "src/partition/CMakeFiles/gnndm_partition.dir/edge_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/edge_partitioner.cc.o.d"
+  "/root/repo/src/partition/hash_partitioner.cc" "src/partition/CMakeFiles/gnndm_partition.dir/hash_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/hash_partitioner.cc.o.d"
+  "/root/repo/src/partition/metis_partitioner.cc" "src/partition/CMakeFiles/gnndm_partition.dir/metis_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/metis_partitioner.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/gnndm_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/stream_partitioner.cc" "src/partition/CMakeFiles/gnndm_partition.dir/stream_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gnndm_partition.dir/stream_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnndm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnndm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/gnndm_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnndm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_partition.dir/analyzer.cc.o"
+  "CMakeFiles/gnndm_partition.dir/analyzer.cc.o.d"
+  "CMakeFiles/gnndm_partition.dir/edge_partitioner.cc.o"
+  "CMakeFiles/gnndm_partition.dir/edge_partitioner.cc.o.d"
+  "CMakeFiles/gnndm_partition.dir/hash_partitioner.cc.o"
+  "CMakeFiles/gnndm_partition.dir/hash_partitioner.cc.o.d"
+  "CMakeFiles/gnndm_partition.dir/metis_partitioner.cc.o"
+  "CMakeFiles/gnndm_partition.dir/metis_partitioner.cc.o.d"
+  "CMakeFiles/gnndm_partition.dir/partitioner.cc.o"
+  "CMakeFiles/gnndm_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/gnndm_partition.dir/stream_partitioner.cc.o"
+  "CMakeFiles/gnndm_partition.dir/stream_partitioner.cc.o.d"
+  "libgnndm_partition.a"
+  "libgnndm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

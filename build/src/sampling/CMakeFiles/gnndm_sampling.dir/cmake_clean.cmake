@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_sampling.dir/layerwise_sampler.cc.o"
+  "CMakeFiles/gnndm_sampling.dir/layerwise_sampler.cc.o.d"
+  "CMakeFiles/gnndm_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/gnndm_sampling.dir/neighbor_sampler.cc.o.d"
+  "CMakeFiles/gnndm_sampling.dir/randomwalk_sampler.cc.o"
+  "CMakeFiles/gnndm_sampling.dir/randomwalk_sampler.cc.o.d"
+  "CMakeFiles/gnndm_sampling.dir/subgraph_sampler.cc.o"
+  "CMakeFiles/gnndm_sampling.dir/subgraph_sampler.cc.o.d"
+  "libgnndm_sampling.a"
+  "libgnndm_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_tensor.dir/ops.cc.o"
+  "CMakeFiles/gnndm_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/gnndm_tensor.dir/tensor.cc.o"
+  "CMakeFiles/gnndm_tensor.dir/tensor.cc.o.d"
+  "libgnndm_tensor.a"
+  "libgnndm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

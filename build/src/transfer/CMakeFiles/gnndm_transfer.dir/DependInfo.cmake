@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/block_activity.cc" "src/transfer/CMakeFiles/gnndm_transfer.dir/block_activity.cc.o" "gcc" "src/transfer/CMakeFiles/gnndm_transfer.dir/block_activity.cc.o.d"
+  "/root/repo/src/transfer/feature_cache.cc" "src/transfer/CMakeFiles/gnndm_transfer.dir/feature_cache.cc.o" "gcc" "src/transfer/CMakeFiles/gnndm_transfer.dir/feature_cache.cc.o.d"
+  "/root/repo/src/transfer/pipeline.cc" "src/transfer/CMakeFiles/gnndm_transfer.dir/pipeline.cc.o" "gcc" "src/transfer/CMakeFiles/gnndm_transfer.dir/pipeline.cc.o.d"
+  "/root/repo/src/transfer/transfer_engine.cc" "src/transfer/CMakeFiles/gnndm_transfer.dir/transfer_engine.cc.o" "gcc" "src/transfer/CMakeFiles/gnndm_transfer.dir/transfer_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnndm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnndm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/gnndm_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnndm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnndm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

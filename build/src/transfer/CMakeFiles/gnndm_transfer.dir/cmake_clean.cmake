@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_transfer.dir/block_activity.cc.o"
+  "CMakeFiles/gnndm_transfer.dir/block_activity.cc.o.d"
+  "CMakeFiles/gnndm_transfer.dir/feature_cache.cc.o"
+  "CMakeFiles/gnndm_transfer.dir/feature_cache.cc.o.d"
+  "CMakeFiles/gnndm_transfer.dir/pipeline.cc.o"
+  "CMakeFiles/gnndm_transfer.dir/pipeline.cc.o.d"
+  "CMakeFiles/gnndm_transfer.dir/transfer_engine.cc.o"
+  "CMakeFiles/gnndm_transfer.dir/transfer_engine.cc.o.d"
+  "libgnndm_transfer.a"
+  "libgnndm_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_loader_test.dir/async_loader_test.cc.o"
+  "CMakeFiles/async_loader_test.dir/async_loader_test.cc.o.d"
+  "async_loader_test"
+  "async_loader_test.pdb"
+  "async_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_batch_test.dir/full_batch_test.cc.o"
+  "CMakeFiles/full_batch_test.dir/full_batch_test.cc.o.d"
+  "full_batch_test"
+  "full_batch_test.pdb"
+  "full_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

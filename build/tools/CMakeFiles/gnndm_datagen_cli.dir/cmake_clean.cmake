@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_datagen_cli.dir/gnndm_datagen.cc.o"
+  "CMakeFiles/gnndm_datagen_cli.dir/gnndm_datagen.cc.o.d"
+  "gnndm_datagen"
+  "gnndm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_datagen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_partition_cli.dir/gnndm_partition.cc.o"
+  "CMakeFiles/gnndm_partition_cli.dir/gnndm_partition.cc.o.d"
+  "gnndm_partition"
+  "gnndm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_partition_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

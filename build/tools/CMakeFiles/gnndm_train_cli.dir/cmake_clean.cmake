@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndm_train_cli.dir/gnndm_train.cc.o"
+  "CMakeFiles/gnndm_train_cli.dir/gnndm_train.cc.o.d"
+  "gnndm_train"
+  "gnndm_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndm_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
