@@ -1,0 +1,47 @@
+# Sanitizer presets for the correctness-tooling layer.
+#
+#   cmake -B build -S . -DGNNDM_SANITIZE=address            # ASan + LSan
+#   cmake -B build -S . -DGNNDM_SANITIZE=undefined          # UBSan
+#   cmake -B build -S . -DGNNDM_SANITIZE=address+undefined  # CI combo
+#   cmake -B build -S . -DGNNDM_SANITIZE=thread             # TSan
+#
+# The flags flow into every target (libraries, tests, benches, tools)
+# through add_compile_options/add_link_options in the top-level lists
+# file, and the full ctest suite is expected to run sanitizer-clean.
+# Sanitizer builds also define GNNDM_ENABLE_DCHECKS so the debug
+# invariant validators (CsrGraph/PartitionResult/SampledSubgraph
+# ::Validate) run even when the build type would otherwise strip them.
+
+set(GNNDM_SANITIZE "" CACHE STRING
+    "Sanitizer preset: empty, address, undefined, address+undefined, thread")
+set_property(CACHE GNNDM_SANITIZE PROPERTY STRINGS
+             "" "address" "undefined" "address+undefined" "thread")
+
+function(gnndm_apply_sanitizer)
+  if(GNNDM_SANITIZE STREQUAL "")
+    return()
+  endif()
+
+  if(GNNDM_SANITIZE STREQUAL "address")
+    set(_flags -fsanitize=address -fno-omit-frame-pointer)
+  elseif(GNNDM_SANITIZE STREQUAL "undefined")
+    set(_flags -fsanitize=undefined -fno-sanitize-recover=all
+        -fno-omit-frame-pointer)
+  elseif(GNNDM_SANITIZE STREQUAL "address+undefined")
+    # ASan and UBSan compose; TSan does not combine with either.
+    set(_flags -fsanitize=address,undefined -fno-sanitize-recover=all
+        -fno-omit-frame-pointer)
+  elseif(GNNDM_SANITIZE STREQUAL "thread")
+    set(_flags -fsanitize=thread -fno-omit-frame-pointer)
+  else()
+    message(FATAL_ERROR
+            "GNNDM_SANITIZE must be empty, address, undefined, "
+            "address+undefined, or thread (got '${GNNDM_SANITIZE}')")
+  endif()
+
+  add_compile_options(${_flags} -g -O1)
+  add_link_options(${_flags})
+  add_compile_definitions(GNNDM_ENABLE_DCHECKS)
+  message(STATUS "gnndm: sanitizer preset '${GNNDM_SANITIZE}' enabled "
+                 "(validators on via GNNDM_ENABLE_DCHECKS)")
+endfunction()

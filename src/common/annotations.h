@@ -1,0 +1,107 @@
+#ifndef GNNDM_COMMON_ANNOTATIONS_H_
+#define GNNDM_COMMON_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis attributes, compiled to no-ops elsewhere.
+/// Concurrency-bearing classes declare which mutex guards which member
+/// (`GNNDM_GUARDED_BY`) and which functions run under which lock
+/// (`GNNDM_REQUIRES`); clang then proves every access is correctly locked
+/// at compile time (-Wthread-safety, promoted to an error in CI).
+///
+/// All lock-based code in gnndm must use the `gnndm::Mutex` /
+/// `gnndm::MutexLock` / `gnndm::CondVar` wrappers below instead of the raw
+/// standard-library types — `gnndm_lint` enforces this — so that the
+/// analysis covers the whole tree rather than only opted-in classes.
+#if defined(__clang__) && defined(__has_attribute)
+#define GNNDM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GNNDM_THREAD_ANNOTATION(x)  // no-op under gcc/msvc
+#endif
+
+#define GNNDM_CAPABILITY(x) GNNDM_THREAD_ANNOTATION(capability(x))
+#define GNNDM_SCOPED_CAPABILITY GNNDM_THREAD_ANNOTATION(scoped_lockable)
+#define GNNDM_GUARDED_BY(x) GNNDM_THREAD_ANNOTATION(guarded_by(x))
+#define GNNDM_PT_GUARDED_BY(x) GNNDM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GNNDM_REQUIRES(...) \
+  GNNDM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GNNDM_ACQUIRE(...) \
+  GNNDM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GNNDM_RELEASE(...) \
+  GNNDM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GNNDM_TRY_ACQUIRE(...) \
+  GNNDM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GNNDM_EXCLUDES(...) \
+  GNNDM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GNNDM_RETURN_CAPABILITY(x) \
+  GNNDM_THREAD_ANNOTATION(lock_returned(x))
+#define GNNDM_NO_THREAD_SAFETY_ANALYSIS \
+  GNNDM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gnndm {
+
+/// std::mutex with a thread-safety "capability" the analysis can track.
+/// Prefer MutexLock for scoped locking; Lock/Unlock exist for the rare
+/// hand-over-hand pattern and for CondVar::Wait.
+class GNNDM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GNNDM_ACQUIRE() { mu_.lock(); }
+  void Unlock() GNNDM_RELEASE() { mu_.unlock(); }
+  bool TryLock() GNNDM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for interop with std APIs; using it bypasses analysis.
+  std::mutex& native_handle() GNNDM_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, annotated so clang knows the capability is held for the
+/// scope. The gnndm equivalent of std::unique_lock/std::scoped_lock.
+class GNNDM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GNNDM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GNNDM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with gnndm::Mutex. Wait takes the Mutex
+/// directly (not a std lock object) so the REQUIRES annotation can name
+/// the capability that must be held at the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Caller must hold `mu`. Can wake spuriously, so always call from a
+  /// `while (!predicate)` loop — the loop form (rather than a predicate
+  /// callback) keeps guarded-member accesses visible to the analysis.
+  void Wait(Mutex& mu) GNNDM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_ANNOTATIONS_H_

@@ -50,5 +50,21 @@ LogMessage::~LogMessage() {
   }
 }
 
+CheckFailure::CheckFailure(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+CheckFailure::~CheckFailure() {
+  const char* base = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::cerr << "[F " << base << ":" << line_ << "] Check failed: "
+            << condition_;
+  const std::string extra = stream_.str();
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
 }  // namespace internal_logging
 }  // namespace gnndm

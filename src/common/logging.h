@@ -43,12 +43,78 @@ class LogMessage {
       .stream()
 
 /// Fatal check: always on (also in release builds), aborts with a message.
-#define GNNDM_CHECK(cond)                                                 \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      GNNDM_LOG(Error) << "Check failed: " #cond;                         \
-      std::abort();                                                       \
-    }                                                                     \
+/// Streams extra context: GNNDM_CHECK(n > 0) << "got " << n;
+#define GNNDM_CHECK(cond)                                                  \
+  if (cond) {                                                              \
+  } else /* NOLINT(readability-else-after-return) */                       \
+    ::gnndm::internal_logging::CheckFailure(__FILE__, __LINE__, #cond)     \
+        .stream()
+
+/// Fatal check on a Status-valued expression; aborts printing ToString().
+#define GNNDM_CHECK_OK(expr)                                               \
+  do {                                                                     \
+    auto _gnndm_check_status = (expr);                                     \
+    if (!_gnndm_check_status.ok()) {                                       \
+      GNNDM_CHECK(false) << "status not OK: "                              \
+                         << _gnndm_check_status.ToString();                \
+    }                                                                      \
   } while (0)
+
+/// Debug checks guard the invariant validators (CsrGraph::Validate,
+/// PartitionResult::Validate, SampledSubgraph::Validate, ...) on hot
+/// paths: enabled in debug builds and whenever GNNDM_ENABLE_DCHECKS is
+/// defined (the sanitizer presets define it, so ASan/TSan/UBSan CI runs
+/// the validators); compiled out of plain -DNDEBUG release builds. The
+/// condition must stay side-effect free.
+#if !defined(NDEBUG) || defined(GNNDM_ENABLE_DCHECKS)
+#define GNNDM_DCHECK_IS_ON() 1
+#define GNNDM_DCHECK(cond) GNNDM_CHECK(cond)
+#define GNNDM_DCHECK_OK(expr) GNNDM_CHECK_OK(expr)
+#else
+#define GNNDM_DCHECK_IS_ON() 0
+// Disabled: the operands still compile (so they cannot rot) but are never
+// evaluated, and the dead branch folds away.
+#define GNNDM_DCHECK(cond)          \
+  while (false && (cond))           \
+  ::gnndm::internal_logging::NullStream()
+#define GNNDM_DCHECK_OK(expr) \
+  do {                        \
+    if (false) (void)(expr);  \
+  } while (0)
+#endif
+
+namespace gnndm {
+namespace internal_logging {
+
+/// Terminal sink behind GNNDM_CHECK: collects the streamed message and
+/// aborts the process in its destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands of a disabled GNNDM_DCHECK.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace gnndm
 
 #endif  // GNNDM_COMMON_LOGGING_H_

@@ -30,7 +30,11 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides I/O and validation
+/// failures, so every Status-returning call must consume the result
+/// (check it, propagate it, or GNNDM_CHECK_OK it).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -73,7 +77,7 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Analogous to
 /// absl::StatusOr. Accessing `value()` on an error aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `Result<int> r = 3;` reads naturally at return
   /// sites, mirroring absl::StatusOr.

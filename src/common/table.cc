@@ -1,10 +1,11 @@
 #include "common/table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace gnndm {
 
@@ -13,7 +14,7 @@ void Table::SetHeader(std::vector<std::string> header) {
 }
 
 void Table::AddRow(std::vector<std::string> row) {
-  assert(header_.empty() || row.size() == header_.size());
+  GNNDM_DCHECK(header_.empty() || row.size() == header_.size());
   rows_.push_back(std::move(row));
 }
 

@@ -33,7 +33,7 @@ class Table {
   std::string ToCsv() const;
 
   /// Writes ToCsv() to `path`, creating parent directories is NOT attempted.
-  Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
 
   const std::string& title() const { return title_; }
   size_t num_rows() const { return rows_.size(); }

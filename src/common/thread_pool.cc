@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace gnndm {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -14,25 +16,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
+  done_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    GNNDM_CHECK(!stop_) << "ThreadPool::Submit after shutdown began";
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0 && !stop_) done_cv_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -51,8 +55,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -62,9 +66,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef GNNDM_COMMON_THREAD_POOL_H_
 #define GNNDM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace gnndm {
 
@@ -15,6 +15,10 @@ namespace gnndm {
 /// Work items are plain std::function<void()>; ParallelFor partitions an
 /// index range into contiguous chunks. The pool is intentionally simple —
 /// GNN data preparation is embarrassingly parallel over batch vertices.
+///
+/// Thread-safety: all shared state is guarded by `mu_` and the class is
+/// annotated for Clang Thread Safety Analysis. Submitting after the
+/// destructor has begun is a programming error and aborts.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
@@ -24,29 +28,34 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for asynchronous execution. Aborts if called after
+  /// destruction has begun (checked, not silently dropped: a task
+  /// submitted during shutdown would never run).
+  void Submit(std::function<void()> task) GNNDM_EXCLUDES(mu_);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. Also returns when
+  /// the pool is shutting down, so a Wait() racing the destructor cannot
+  /// hang on tasks that will never be drained.
+  void Wait() GNNDM_EXCLUDES(mu_);
 
   /// Runs `body(begin, end)` over contiguous chunks of [0, n) across the
   /// pool and blocks until done. `body` must be thread-safe.
   void ParallelFor(size_t n,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body)
+      GNNDM_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GNNDM_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ GNNDM_GUARDED_BY(mu_);
+  CondVar work_cv_;
+  CondVar done_cv_;
+  size_t in_flight_ GNNDM_GUARDED_BY(mu_) = 0;
+  bool stop_ GNNDM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gnndm

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {
@@ -21,11 +22,11 @@ AsyncBatchLoader::AsyncBatchLoader(const CsrGraph& graph,
 
 AsyncBatchLoader::~AsyncBatchLoader() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
   producer_.join();
 }
 
@@ -38,33 +39,34 @@ void AsyncBatchLoader::ProducerLoop() {
     // consumer's pace or the queue depth.
     Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
     prepared.subgraph = sampler_.Sample(graph_, prepared.seeds, rng);
+    GNNDM_DCHECK_OK(prepared.subgraph.Validate(graph_.num_vertices()));
     TransferEngine::Gather(prepared.subgraph.input_vertices(), features_,
                            prepared.input);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [this] {
-        return stop_ || queue_.size() < queue_depth_;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.size() >= queue_depth_) not_full_.Wait(mu_);
       if (stop_) return;
       queue_.push_back(std::move(prepared));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_ = true;
   }
-  not_empty_.notify_all();
+  not_empty_.NotifyAll();
 }
 
 std::optional<PreparedBatch> AsyncBatchLoader::Next() {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return stop_ || done_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // done or stopping
-  PreparedBatch batch = std::move(queue_.front());
-  queue_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
+  std::optional<PreparedBatch> batch;
+  {
+    MutexLock lock(mu_);
+    while (!stop_ && !done_ && queue_.empty()) not_empty_.Wait(mu_);
+    if (queue_.empty()) return std::nullopt;  // done or stopping
+    batch = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  not_full_.NotifyOne();
   return batch;
 }
 

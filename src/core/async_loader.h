@@ -1,14 +1,13 @@
 #ifndef GNNDM_CORE_ASYNC_LOADER_H_
 #define GNNDM_CORE_ASYNC_LOADER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "graph/dataset.h"
 #include "sampling/neighbor_sampler.h"
@@ -32,9 +31,14 @@ struct PreparedBatch {
 /// workers). SimulatePipeline models the *device* overlap analytically;
 /// this class provides the host-side mechanism.
 ///
-/// Determinism: batch i is sampled with Rng(seed ^ i), so the stream of
-/// prepared batches is identical regardless of queue depth or thread
-/// interleaving.
+/// Determinism contract: batch i is sampled with Rng(seed ^ i), so the
+/// stream of prepared batches — seeds, subgraph structure, AND gathered
+/// feature bytes — is identical regardless of queue depth or thread
+/// interleaving (asserted byte-for-byte by async_loader_test).
+///
+/// Thread-safety: the bounded queue is guarded by `mu_` and annotated for
+/// Clang Thread Safety Analysis; `graph_`/`features_`/`batches_` are
+/// written only before the producer thread starts.
 class AsyncBatchLoader {
  public:
   /// Starts the producer thread immediately. `graph` and `features`
@@ -50,12 +54,12 @@ class AsyncBatchLoader {
 
   /// Blocks until the next batch is ready; std::nullopt after the last
   /// batch of the epoch has been delivered.
-  std::optional<PreparedBatch> Next();
+  std::optional<PreparedBatch> Next() GNNDM_EXCLUDES(mu_);
 
   size_t num_batches() const { return batches_.size(); }
 
  private:
-  void ProducerLoop();
+  void ProducerLoop() GNNDM_EXCLUDES(mu_);
 
   const CsrGraph& graph_;
   const FeatureMatrix& features_;
@@ -64,12 +68,12 @@ class AsyncBatchLoader {
   uint64_t seed_;
   size_t queue_depth_;
 
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<PreparedBatch> queue_;
-  bool done_ = false;  // producer finished
-  bool stop_ = false;  // destructor requested shutdown
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<PreparedBatch> queue_ GNNDM_GUARDED_BY(mu_);
+  bool done_ GNNDM_GUARDED_BY(mu_) = false;   // producer finished
+  bool stop_ GNNDM_GUARDED_BY(mu_) = false;   // destructor requested shutdown
   std::thread producer_;
 };
 

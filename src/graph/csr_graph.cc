@@ -1,7 +1,10 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
+
+#include "common/logging.h"
 
 namespace gnndm {
 
@@ -57,7 +60,41 @@ Result<CsrGraph> CsrGraph::FromEdges(VertexId num_vertices,
   }
   g.adjacency_.resize(write);
   g.offsets_ = std::move(new_offsets);
+  GNNDM_DCHECK_OK(g.Validate());
   return g;
+}
+
+Status CsrGraph::Validate() const {
+  if (offsets_.empty()) {
+    return adjacency_.empty()
+               ? Status::Ok()
+               : Status::Internal("csr: adjacency without offsets");
+  }
+  if (offsets_.front() != 0) {
+    return Status::Internal("csr: offsets must start at 0");
+  }
+  if (offsets_.back() != adjacency_.size()) {
+    return Status::Internal("csr: offsets do not span adjacency");
+  }
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Status::Internal("csr: offsets not monotone at vertex " +
+                              std::to_string(v));
+    }
+    for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      if (adjacency_[e] >= n) {
+        return Status::Internal("csr: neighbor id out of range at vertex " +
+                                std::to_string(v));
+      }
+      if (e > offsets_[v] && adjacency_[e - 1] >= adjacency_[e]) {
+        return Status::Internal(
+            "csr: adjacency list unsorted or duplicated at vertex " +
+            std::to_string(v));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
@@ -84,6 +121,7 @@ CsrGraph CsrGraph::InducedSubgraph(
   // Input adjacency is already deduplicated; the mapping preserves that.
   auto result = FromEdges(static_cast<VertexId>(vertices.size()),
                           std::move(edges), /*symmetrize=*/false);
+  GNNDM_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }
 

@@ -70,6 +70,12 @@ class CsrGraph {
   /// vertices[i]. Used by subgraph-wise sampling and block partitioning.
   CsrGraph InducedSubgraph(const std::vector<VertexId>& vertices) const;
 
+  /// Structural invariant check: offsets monotone and spanning adjacency_,
+  /// every adjacency id in range, every list sorted and duplicate-free.
+  /// O(V + E). Builders run it under GNNDM_DCHECK; deserializers
+  /// (LoadDatasetFile) run it unconditionally on untrusted bytes.
+  [[nodiscard]] Status Validate() const;
+
   const std::vector<EdgeId>& offsets() const { return offsets_; }
   const std::vector<VertexId>& adjacency() const { return adjacency_; }
 

@@ -21,8 +21,10 @@ CsrGraph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
     }
     edges.push_back({u, v});
   }
-  return std::move(
-             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+  Result<CsrGraph> graph =
+      CsrGraph::FromEdges(num_vertices, std::move(edges));
+  GNNDM_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
 }
 
 CsrGraph GenerateRmat(VertexId num_vertices, EdgeId num_edges, uint64_t seed,
@@ -65,8 +67,10 @@ CsrGraph GenerateRmat(VertexId num_vertices, EdgeId num_edges, uint64_t seed,
     if (u == v) v = (v + 1) % num_vertices;
     edges.push_back({u, v});
   }
-  return std::move(
-             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+  Result<CsrGraph> graph =
+      CsrGraph::FromEdges(num_vertices, std::move(edges));
+  GNNDM_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
 }
 
 CsrGraph GenerateBarabasiAlbert(VertexId num_vertices,
@@ -97,8 +101,10 @@ CsrGraph GenerateBarabasiAlbert(VertexId num_vertices,
       endpoint_pool.push_back(v);
     }
   }
-  return std::move(
-             CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+  Result<CsrGraph> graph =
+      CsrGraph::FromEdges(num_vertices, std::move(edges));
+  GNNDM_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
 }
 
 namespace {
@@ -159,8 +165,16 @@ CommunityGraph GenerateCommunityImpl(VertexId num_vertices,
       edges.push_back({pick_member(c1), pick_member(c2)});
     }
   }
-  out.graph = std::move(
-      CsrGraph::FromEdges(num_vertices, std::move(edges)).value());
+  Result<CsrGraph> graph =
+      CsrGraph::FromEdges(num_vertices, std::move(edges));
+  GNNDM_CHECK(graph.ok()) << graph.status().ToString();
+  out.graph = std::move(graph).value();
+  // FromEdges already DCHECK-validates the CSR; check the community
+  // labelling is total and in range too.
+  GNNDM_DCHECK(out.community.size() == out.graph.num_vertices());
+  for ([[maybe_unused]] uint32_t c : out.community) {
+    GNNDM_DCHECK(c < num_communities);
+  }
   return out;
 }
 

@@ -35,6 +35,16 @@ template <typename T>
 bool ReadVector(std::ifstream& in, std::vector<T>& values) {
   uint64_t size = 0;
   if (!ReadPod(in, size)) return false;
+  // The count is untrusted input: refuse to allocate more elements than
+  // the bytes actually left in the file can hold.
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (pos < 0 || end < pos ||
+      size > static_cast<uint64_t>(end - pos) / sizeof(T)) {
+    return false;
+  }
   values.resize(size);
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(size * sizeof(T)));
@@ -79,7 +89,11 @@ Result<CsrGraph> LoadEdgeList(const std::string& path, bool symmetrize) {
                        static_cast<VertexId>(dst)});
   }
   if (edges.empty()) return Status::InvalidArgument("no edges in " + path);
-  return CsrGraph::FromEdges(max_id + 1, std::move(edges), symmetrize);
+  Result<CsrGraph> graph =
+      CsrGraph::FromEdges(max_id + 1, std::move(edges), symmetrize);
+  if (!graph.ok()) return graph.status();
+  GNNDM_RETURN_IF_ERROR(graph->Validate());
+  return std::move(graph).value();
 }
 
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
@@ -131,8 +145,19 @@ Result<Dataset> LoadDatasetFile(const std::string& path) {
   if (offsets.empty()) {
     return Status::InvalidArgument("empty graph in " + path);
   }
-  // Rebuild the CSR through the public constructor for validation.
+  // Rebuild the CSR through the public constructor for validation. The
+  // offsets index straight into `adjacency` below, so they must be
+  // proven monotone and in-bounds *before* any indexing — FromEdges and
+  // Validate() run too late to stop a wild read here.
   const auto n = static_cast<VertexId>(offsets.size() - 1);
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    return Status::InvalidArgument("corrupt csr offsets in " + path);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("corrupt csr offsets in " + path);
+    }
+  }
   std::vector<Edge> edges;
   edges.reserve(adjacency.size());
   for (VertexId v = 0; v < n; ++v) {
@@ -144,6 +169,9 @@ Result<Dataset> LoadDatasetFile(const std::string& path) {
       CsrGraph::FromEdges(n, std::move(edges), /*symmetrize=*/false);
   if (!graph.ok()) return graph.status();
   ds.graph = std::move(graph).value();
+  // The bytes were untrusted: re-check the rebuilt CSR unconditionally
+  // (FromEdges only DCHECKs).
+  GNNDM_RETURN_IF_ERROR(ds.graph.Validate());
 
   uint32_t dim = 0;
   std::vector<float> feature_data;
@@ -169,6 +197,15 @@ Result<Dataset> LoadDatasetFile(const std::string& path) {
   ds.power_law = power_law != 0;
   if (ds.labels.size() != n) {
     return Status::InvalidArgument("label count mismatch in " + path);
+  }
+  for (const std::vector<VertexId>* part :
+       {&ds.split.train, &ds.split.val, &ds.split.test}) {
+    for (VertexId v : *part) {
+      if (v >= n) {
+        return Status::InvalidArgument("split vertex out of range in " +
+                                       path);
+      }
+    }
   }
   return ds;
 }

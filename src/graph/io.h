@@ -12,14 +12,16 @@ namespace gnndm {
 /// Plain-text edge list I/O ("<src> <dst>\n" per line, '#' comments),
 /// the interchange format of SNAP/KONECT dumps the paper's datasets ship
 /// in. Vertices are numbered 0..max_id.
-Status SaveEdgeList(const CsrGraph& graph, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const CsrGraph& graph,
+                                  const std::string& path);
 Result<CsrGraph> LoadEdgeList(const std::string& path,
                               bool symmetrize = true);
 
 /// Compact binary serialization of a full Dataset (graph + features +
 /// labels + split), so expensive generated datasets can be reused across
 /// runs. Format: magic "GNDM1", little-endian sizes, raw arrays.
-Status SaveDataset(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveDataset(const Dataset& dataset,
+                                 const std::string& path);
 Result<Dataset> LoadDatasetFile(const std::string& path);
 
 }  // namespace gnndm

@@ -1,5 +1,6 @@
 #include "nn/checkpoint.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -10,6 +11,19 @@ namespace gnndm {
 namespace {
 
 constexpr char kMagic[6] = "GNCK1";
+
+/// Post-deserialization validation: weights restored from disk must be
+/// finite — a NaN/Inf smuggled in through a corrupt or truncated file
+/// would silently poison every forward pass after restore.
+Status ValidateLoadedTensor(const std::string& name, const Tensor& value) {
+  const float* data = value.data();
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      return Status::InvalidArgument("non-finite weight in restored " + name);
+    }
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -73,6 +87,7 @@ Status LoadCheckpoint(GnnModel& model, const std::string& path) {
     if (!in) {
       return Status::InvalidArgument("truncated checkpoint: " + path);
     }
+    GNNDM_RETURN_IF_ERROR(ValidateLoadedTensor(p->name, p->value));
   }
   return Status::Ok();
 }

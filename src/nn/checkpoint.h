@@ -12,8 +12,8 @@ namespace gnndm {
 /// then per parameter: name, shape, float32 payload. Loading validates
 /// that names and shapes match the target model exactly, so a
 /// checkpoint can only be restored into an identically configured model.
-Status SaveCheckpoint(GnnModel& model, const std::string& path);
-Status LoadCheckpoint(GnnModel& model, const std::string& path);
+[[nodiscard]] Status SaveCheckpoint(GnnModel& model, const std::string& path);
+[[nodiscard]] Status LoadCheckpoint(GnnModel& model, const std::string& path);
 
 }  // namespace gnndm
 

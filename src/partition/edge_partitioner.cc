@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -56,6 +57,7 @@ PartitionResult EdgeHashPartitioner::Partition(const PartitionInput& input,
     }
   }
   result.seconds = timer.Seconds();
+  GNNDM_DCHECK_OK(result.Validate(input.graph.num_vertices()));
   return result;
 }
 

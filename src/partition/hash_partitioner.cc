@@ -1,5 +1,6 @@
 #include "partition/hash_partitioner.h"
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -29,6 +30,7 @@ PartitionResult HashPartitioner::Partition(const PartitionInput& input,
         static_cast<uint32_t>(MixHash(v, seed) % num_parts);
   }
   result.seconds = timer.Seconds();
+  GNNDM_DCHECK_OK(result.Validate(input.graph.num_vertices()));
   return result;
 }
 

@@ -373,6 +373,7 @@ PartitionResult MetisPartitioner::Partition(const PartitionInput& input,
   result.assignment =
       MultilevelPartition(input.graph, weights, nc, num_parts, seed);
   result.seconds = timer.Seconds();
+  GNNDM_DCHECK_OK(result.Validate(input.graph.num_vertices()));
   return result;
 }
 

@@ -25,6 +25,18 @@ struct PartitionResult {
   /// of each partition's training vertices, which is why it needs no
   /// remote traffic during training (§5.3.2). Empty for other methods.
   std::vector<std::vector<VertexId>> halo;
+  /// Vertex-balance tolerance the producing method guarantees: every
+  /// partition owns at most (1 + balance_epsilon) * |V| / num_parts
+  /// vertices. 0 means the method declares no balance guarantee and
+  /// Validate() skips the balance check.
+  double balance_epsilon = 0.0;
+
+  /// Invariant check: every vertex of a `num_vertices`-vertex graph is
+  /// assigned to exactly one existing partition (assignment is total and
+  /// in range), halo ids are in range, and — when the method declared a
+  /// `balance_epsilon` — per-partition vertex counts respect it. Every
+  /// partitioner runs this on its result under GNNDM_DCHECK.
+  [[nodiscard]] Status Validate(VertexId num_vertices) const;
 
   /// Vertices owned by partition `p`.
   std::vector<VertexId> PartitionVertices(uint32_t p) const;

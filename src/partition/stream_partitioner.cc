@@ -106,6 +106,7 @@ PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
   }
 
   result.seconds = timer.Seconds();
+  GNNDM_DCHECK_OK(result.Validate(input.graph.num_vertices()));
   return result;
 }
 
@@ -235,6 +236,7 @@ PartitionResult StreamBPartitioner::Partition(const PartitionInput& input,
   }
 
   result.seconds = timer.Seconds();
+  GNNDM_DCHECK_OK(result.Validate(input.graph.num_vertices()));
   return result;
 }
 

@@ -145,6 +145,7 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
     }
     layer.num_src = static_cast<uint32_t>(src_ids.size());
   }
+  GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
   return sg;
 }
 

@@ -85,6 +85,7 @@ SampledSubgraph RandomWalkSampler::Sample(const CsrGraph& graph,
     }
     layer.num_src = static_cast<uint32_t>(src_ids.size());
   }
+  GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
   return sg;
 }
 

@@ -62,6 +62,15 @@ struct SampledSubgraph {
     for (const auto& layer : layers) total += layer.num_edges();
     return total;
   }
+
+  /// Invariant check: layer frontiers are consistent (layers[l] maps
+  /// node_ids[l] sources onto node_ids[l+1] destinations, offsets span the
+  /// neighbor array) and no remapped id dangles (every local index is a
+  /// valid source, every global id < `num_graph_vertices`, and node_ids[l]
+  /// starts with a verbatim copy of node_ids[l+1] — the self-feature
+  /// prefix the COMBINE step relies on). Samplers run this on every
+  /// produced subgraph under GNNDM_DCHECK.
+  [[nodiscard]] Status Validate(VertexId num_graph_vertices) const;
 };
 
 }  // namespace gnndm

@@ -60,6 +60,7 @@ SampledSubgraph SubgraphSampler::Sample(const CsrGraph& graph,
   sg.layers[num_layers_ - 1].offsets.resize(seeds.size() + 1);
   sg.layers[num_layers_ - 1].neighbors.resize(
       sg.layers[num_layers_ - 1].offsets[seeds.size()]);
+  GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
   return sg;
 }
 

@@ -11,6 +11,10 @@ void TransferEngine::Gather(const std::vector<VertexId>& vertices,
   const uint32_t dim = features.dim();
   out.Resize(vertices.size(), dim);
   for (size_t i = 0; i < vertices.size(); ++i) {
+    // Out-of-range here is a silent wild read in release builds — the
+    // gather is the one place every sampled id crosses into raw memory.
+    GNNDM_DCHECK(vertices[i] < features.num_vertices())
+        << "gather of vertex " << vertices[i] << " beyond feature matrix";
     auto src = features.row(vertices[i]);
     auto dst = out.row(i);
     for (uint32_t f = 0; f < dim; ++f) dst[f] = src[f];

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "batch/batch_selector.h"
 #include "core/async_loader.h"
@@ -58,6 +59,44 @@ TEST_F(AsyncLoaderTest, DeterministicAcrossQueueDepths) {
     return inputs;
   };
   EXPECT_EQ(collect(1), collect(8));
+}
+
+TEST_F(AsyncLoaderTest, ByteIdenticalAcrossQueueDepths) {
+  // The prefetch depth is a pure performance knob: the delivered batch
+  // stream — seeds, every sampled frontier and bipartite layer, and the
+  // gathered feature bytes — must be byte-identical whether the producer
+  // runs one batch ahead or sixteen.
+  NeighborSampler sampler = NeighborSampler::WithFanouts({5, 5});
+  auto serialize = [&](size_t depth) {
+    AsyncBatchLoader loader(dataset_.graph, dataset_.features, batches_,
+                            sampler, 29, depth);
+    std::string blob;
+    auto append = [&blob](const void* data, size_t bytes) {
+      blob.append(static_cast<const char*>(data), bytes);
+    };
+    while (auto batch = loader.Next()) {
+      append(&batch->index, sizeof(batch->index));
+      append(batch->seeds.data(),
+             batch->seeds.size() * sizeof(VertexId));
+      for (const auto& ids : batch->subgraph.node_ids) {
+        append(ids.data(), ids.size() * sizeof(VertexId));
+      }
+      for (const auto& layer : batch->subgraph.layers) {
+        append(&layer.num_src, sizeof(layer.num_src));
+        append(&layer.num_dst, sizeof(layer.num_dst));
+        append(layer.offsets.data(),
+               layer.offsets.size() * sizeof(uint32_t));
+        append(layer.neighbors.data(),
+               layer.neighbors.size() * sizeof(uint32_t));
+      }
+      append(batch->input.data(), batch->input.size() * sizeof(float));
+    }
+    return blob;
+  };
+  const std::string depth1 = serialize(1);
+  EXPECT_FALSE(depth1.empty());
+  EXPECT_EQ(depth1, serialize(4));
+  EXPECT_EQ(depth1, serialize(16));
 }
 
 TEST_F(AsyncLoaderTest, GatheredFeaturesMatchDirectGather) {

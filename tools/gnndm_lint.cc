@@ -1,0 +1,233 @@
+// gnndm_lint — repo-specific static checks, registered as a ctest so a
+// violation fails the build. Usage:
+//
+//   $ gnndm_lint <repo_root>
+//
+// Rules (each reports file:line and a fix hint):
+//   include-guard         .h files use GNNDM_<PATH>_H_ guards
+//   raw-lock              std::mutex & friends only inside the annotated
+//                         wrappers (src/common/annotations.h); everything
+//                         else must use gnndm::Mutex / MutexLock / CondVar
+//                         so Clang Thread Safety Analysis sees it
+//   raw-thread            std::thread in src/ only in the audited
+//                         concurrency surfaces (ThreadPool, AsyncBatchLoader)
+//   assert-in-cc          assert() in non-test .cc files — use GNNDM_DCHECK /
+//                         GNNDM_CHECK, which log and honor sanitizer builds
+//   deserialize-validate  .cc files that parse binary input must call a
+//                         Validate() routine on what they decoded
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line;  // 0 = whole-file
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const std::string& file, size_t line, const std::string& rule,
+            const std::string& message) {
+  g_violations.push_back({file, line, rule, message});
+}
+
+/// Path relative to the repo root, with '/' separators.
+std::string RelPath(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Strips // comments so tokens mentioned in prose don't trip the rules.
+std::string StripLineComment(const std::string& line) {
+  size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+/// True if `token` occurs in `haystack` not preceded by an identifier
+/// character (rejects e.g. static_assert when searching for assert().
+bool ContainsToken(const std::string& haystack, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = haystack.find(token, pos)) != std::string::npos) {
+    const bool boundary =
+        pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                         haystack[pos - 1])) &&
+                     haystack[pos - 1] != '_');
+    if (boundary) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+/// GNNDM_<PATH>_H_ with the leading src/ stripped, matching the existing
+/// style: src/common/status.h -> GNNDM_COMMON_STATUS_H_ and
+/// bench/bench_util.h -> GNNDM_BENCH_BENCH_UTIL_H_.
+std::string ExpectedGuard(const std::string& rel) {
+  std::string trimmed = StartsWith(rel, "src/") ? rel.substr(4) : rel;
+  std::string guard = "GNNDM_";
+  for (char c : trimmed) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludeGuard(const std::string& rel,
+                       const std::vector<std::string>& lines) {
+  const std::string guard = ExpectedGuard(rel);
+  bool has_ifndef = false, has_define = false;
+  for (const auto& line : lines) {
+    if (line.find("#ifndef " + guard) != std::string::npos) {
+      has_ifndef = true;
+    }
+    if (line.find("#define " + guard) != std::string::npos) {
+      has_define = true;
+    }
+  }
+  if (!has_ifndef || !has_define) {
+    Report(rel, 0, "include-guard",
+           "header must use include guard " + guard);
+  }
+}
+
+// std::thread is allowed only where a worker thread is genuinely owned
+// and its shared state is annotated; everything else goes through
+// ThreadPool. Tests may spawn raw threads to provoke races.
+const std::set<std::string> kThreadAllowlist = {
+    "src/common/thread_pool.h", "src/common/thread_pool.cc",
+    "src/core/async_loader.h", "src/core/async_loader.cc",
+};
+
+void CheckConcurrencyPrimitives(const std::string& rel,
+                                const std::vector<std::string>& lines) {
+  if (rel == "src/common/annotations.h") return;  // the wrapper itself
+  static const char* kLockTokens[] = {
+      "std::mutex",       "std::condition_variable", "std::lock_guard",
+      "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
+  };
+  const bool thread_allowed =
+      !StartsWith(rel, "src/") || kThreadAllowlist.count(rel) > 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripLineComment(lines[i]);
+    for (const char* token : kLockTokens) {
+      if (ContainsToken(code, token)) {
+        Report(rel, i + 1, "raw-lock",
+               std::string(token) +
+                   " bypasses thread-safety analysis; use gnndm::Mutex / "
+                   "MutexLock / CondVar from common/annotations.h");
+      }
+    }
+    if (!thread_allowed && ContainsToken(code, "std::thread")) {
+      Report(rel, i + 1, "raw-thread",
+             "std::thread outside the audited concurrency surfaces; "
+             "use ThreadPool or add the file to the lint allowlist "
+             "after annotating its shared state");
+    }
+  }
+}
+
+void CheckAssert(const std::string& rel,
+                 const std::vector<std::string>& lines) {
+  if (StartsWith(rel, "tests/")) return;  // gtest code may use assertions
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripLineComment(lines[i]);
+    if (ContainsToken(code, "assert(")) {
+      Report(rel, i + 1, "assert-in-cc",
+             "assert() in non-test code vanishes under -DNDEBUG without "
+             "trace; use GNNDM_DCHECK (debug) or GNNDM_CHECK (always)");
+    }
+  }
+}
+
+void CheckDeserializationValidates(const std::string& rel,
+                                   const std::string& contents) {
+  if (!StartsWith(rel, "src/")) return;
+  const bool reads_binary =
+      contents.find("std::ios::binary") != std::string::npos &&
+      contents.find("ifstream") != std::string::npos;
+  if (reads_binary && contents.find("Validate") == std::string::npos) {
+    Report(rel, 0, "deserialize-validate",
+           "binary deserializer must run a Validate() pass over the "
+           "decoded structures before returning them");
+  }
+}
+
+void LintFile(const fs::path& path, const fs::path& root) {
+  const std::string rel = RelPath(path, root);
+  // The linter's own rule strings contain every banned token.
+  if (rel == "tools/gnndm_lint.cc") return;
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(contents);
+  while (std::getline(stream, line)) lines.push_back(line);
+
+  const bool is_header = path.extension() == ".h";
+  const bool is_source = path.extension() == ".cc";
+  if (is_header) CheckIncludeGuard(rel, lines);
+  CheckConcurrencyPrimitives(rel, lines);
+  if (is_source) {
+    CheckAssert(rel, lines);
+    CheckDeserializationValidates(rel, contents);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: gnndm_lint <repo_root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  size_t files = 0;
+  for (const char* dir : {"src", "tests", "bench", "tools"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) {
+      std::fprintf(stderr, "gnndm_lint: missing directory %s\n",
+                   base.string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".h" && ext != ".cc") continue;
+      LintFile(entry.path(), root);
+      ++files;
+    }
+  }
+  for (const auto& v : g_violations) {
+    if (v.line == 0) {
+      std::fprintf(stderr, "%s: [%s] %s\n", v.file.c_str(), v.rule.c_str(),
+                   v.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                   v.rule.c_str(), v.message.c_str());
+    }
+  }
+  std::printf("gnndm_lint: %zu files scanned, %zu violation(s)\n", files,
+              g_violations.size());
+  return g_violations.empty() ? 0 : 1;
+}

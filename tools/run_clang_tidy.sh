@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: /.clang-tidy) over every first-party
+# translation unit, using the compile commands of an existing build tree.
+#
+# Usage: tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+#   build_dir  defaults to ./build; must contain compile_commands.json
+#              (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+# Exits 0 if clang-tidy is clean, 1 on findings, 2 if the environment is
+# not set up (missing binary or compilation database) — callers that
+# treat the check as advisory (e.g. a dev container without clang) can
+# distinguish "dirty" from "unavailable".
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" > /dev/null 2>&1; then
+  echo "run_clang_tidy: '$tidy_bin' not found; skipping (advisory)." >&2
+  exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json in $build_dir." >&2
+  echo "  configure with: cmake -B $build_dir -S $repo_root" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+files=$(find src tests bench tools -name '*.cc' | sort)
+status=0
+for f in $files; do
+  "$tidy_bin" -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit $status
