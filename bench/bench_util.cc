@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "core/convergence.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
@@ -27,8 +28,23 @@ void Emit(const Table& table, const Flags& flags,
   }
 }
 
+namespace {
+
+/// Every fig-bench loads its dataset(s) through here, so honoring the
+/// shared --threads flag at load time gives the whole bench suite a
+/// thread-count sweep without per-binary plumbing. Results are
+/// byte-identical at any value (see common/parallel_for.h).
+void ApplyThreadsFlag(const Flags& flags) {
+  if (flags.Has("threads")) {
+    SetComputeThreads(static_cast<size_t>(flags.GetInt("threads", 0)));
+  }
+}
+
+}  // namespace
+
 Dataset LoadOrDie(const Flags& flags, const std::string& fallback,
                   uint64_t seed) {
+  ApplyThreadsFlag(flags);
   const std::string name = flags.GetString("dataset", fallback);
   Result<Dataset> ds = LoadDataset(name, seed);
   if (!ds.ok()) {
@@ -41,6 +57,7 @@ Dataset LoadOrDie(const Flags& flags, const std::string& fallback,
 std::vector<Dataset> LoadAllOrDie(const Flags& flags,
                                   const std::string& fallback_csv,
                                   uint64_t seed) {
+  ApplyThreadsFlag(flags);
   std::string list = flags.GetString("datasets", fallback_csv);
   std::vector<Dataset> out;
   size_t start = 0;

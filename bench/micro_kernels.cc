@@ -1,121 +1,312 @@
-// Micro-benchmarks (google-benchmark) of the kernels the end-to-end
-// experiments are built from: dense matmul, sparse aggregation, L-hop
-// sampling, feature extraction, and the partitioners. Useful for
-// regression-tracking the substrate independently of the figures.
-#include <benchmark/benchmark.h>
+// micro_kernels — serial-vs-parallel kernel-regression harness.
+//
+// Measures the hot compute kernels (dense matmul family, sparse mean
+// aggregation forward + backward, feature gather) serially and across a
+// thread-count sweep, verifies every parallel output is byte-identical
+// to the serial baseline, and emits BENCH_kernels.json so CI can track
+// the perf trajectory.
+//
+//   micro_kernels [--quick] [--threads=2,4,8] [--reps=N]
+//                 [--json=BENCH_kernels.json] [--no_json]
+//
+// The exit code is nonzero only when a parallel output differs from the
+// serial baseline — a determinism-contract violation. Speedups are
+// reported, not asserted: they depend on the machine's core count (a
+// 1-core container shows ~1x by construction), while byte-identity must
+// hold everywhere.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/flags.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
 #include "graph/dataset.h"
-#include "graph/generators.h"
 #include "nn/aggregate.h"
-#include "partition/hash_partitioner.h"
-#include "partition/metis_partitioner.h"
-#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {
 namespace {
 
-void BM_MatMul(benchmark::State& state) {
-  const size_t n = state.range(0);
-  Rng rng(1);
-  Tensor a(n, n), b(n, n), c;
-  XavierInit(a, rng);
-  XavierInit(b, rng);
-  for (auto _ : state) {
-    MatMul(a, b, c);
-    benchmark::DoNotOptimize(c.data());
+void FillRandom(Tensor& t, Rng& rng) {
+  float* p = t.data();
+  for (size_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.UniformReal() * 2.0 - 1.0);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_MeanAggregate(benchmark::State& state) {
-  const uint32_t num_dst = static_cast<uint32_t>(state.range(0));
-  Rng rng(2);
+/// One measurable kernel: `run` executes it on prebuilt inputs; `reset`
+/// reinitializes the output (needed by the accumulate-in-place backward
+/// kernels); `bytes` snapshots the output buffer for byte comparison.
+struct BenchCase {
+  std::string name;
+  std::string shape;
+  std::function<void()> reset;
+  std::function<void()> run;
+  std::function<std::vector<char>()> bytes;
+};
+
+std::vector<char> TensorBytes(const Tensor& t) {
+  const char* p = reinterpret_cast<const char*>(t.data());
+  return std::vector<char>(p, p + t.size() * sizeof(float));
+}
+
+/// Best-of-`reps` wall time for `run`, after one warmup execution.
+double MeasureMs(const BenchCase& k, int reps) {
+  k.reset();
+  k.run();  // warmup: pool spin-up, page faults, cache state
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    k.reset();
+    WallTimer timer;
+    k.run();
+    best = std::min(best, timer.Millis());
+  }
+  return best;
+}
+
+/// Deterministic synthetic SampleLayer: `num_dst` destinations over
+/// `num_src` sources with degrees in [1, 2*avg_degree).
+SampleLayer MakeLayer(uint32_t num_dst, uint32_t num_src,
+                      uint32_t avg_degree, Rng& rng) {
   SampleLayer layer;
   layer.num_dst = num_dst;
-  layer.num_src = num_dst * 4;
+  layer.num_src = num_src;
   layer.offsets.push_back(0);
   for (uint32_t i = 0; i < num_dst; ++i) {
-    for (int k = 0; k < 8; ++k) {
+    const uint32_t degree =
+        1 + static_cast<uint32_t>(rng.UniformInt(2 * avg_degree - 1));
+    for (uint32_t e = 0; e < degree; ++e) {
       layer.neighbors.push_back(
-          static_cast<uint32_t>(rng.UniformInt(layer.num_src)));
+          static_cast<uint32_t>(rng.UniformInt(num_src)));
     }
-    layer.offsets.push_back(
-        static_cast<uint32_t>(layer.neighbors.size()));
+    layer.offsets.push_back(static_cast<uint32_t>(layer.neighbors.size()));
   }
-  Tensor src(layer.num_src, 64), out;
-  XavierInit(src, rng);
-  for (auto _ : state) {
-    MeanAggregateWithSelf(layer, src, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * layer.num_edges());
+  return layer;
 }
-BENCHMARK(BM_MeanAggregate)->Arg(512)->Arg(4096);
 
-void BM_NeighborSample(benchmark::State& state) {
-  CommunityGraph cg = GeneratePowerLawCommunity(8000, 8, 30.0, 3.0, 3);
-  NeighborSampler sampler = NeighborSampler::WithFanouts({25, 10});
-  Rng rng(4);
-  std::vector<VertexId> seeds;
-  for (VertexId v = 0; v < static_cast<VertexId>(state.range(0)); ++v) {
-    seeds.push_back(v * 7 % 8000);
-  }
-  uint64_t edges = 0;
-  for (auto _ : state) {
-    SampledSubgraph sg = sampler.Sample(cg.graph, seeds, rng);
-    edges += sg.TotalEdges();
-    benchmark::DoNotOptimize(sg.node_ids);
-  }
-  state.SetItemsProcessed(edges);
-}
-BENCHMARK(BM_NeighborSample)->Arg(128)->Arg(512);
+struct ThreadSample {
+  size_t threads = 0;
+  double ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
 
-void BM_FeatureGather(benchmark::State& state) {
-  const VertexId n = 100000;
-  FeatureMatrix features(n, 64);
-  Rng rng(5);
-  std::vector<VertexId> vertices;
-  for (int i = 0; i < state.range(0); ++i) {
-    vertices.push_back(static_cast<VertexId>(rng.UniformInt(n)));
-  }
-  Tensor out;
-  for (auto _ : state) {
-    TransferEngine::Gather(vertices, features, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(state.iterations() * vertices.size() * 64 * 4);
-}
-BENCHMARK(BM_FeatureGather)->Arg(1024)->Arg(16384);
+struct KernelReport {
+  std::string name;
+  std::string shape;
+  double serial_ms = 0.0;
+  std::vector<ThreadSample> samples;
+};
 
-void BM_HashPartition(benchmark::State& state) {
-  CommunityGraph cg = GeneratePowerLawCommunity(
-      static_cast<VertexId>(state.range(0)), 8, 15.0, 2.0, 6);
-  VertexSplit split = MakeSplit(cg.graph.num_vertices(), 0.65, 0.10, 7);
-  HashPartitioner hash;
-  for (auto _ : state) {
-    PartitionResult result = hash.Partition({cg.graph, split}, 4, 8);
-    benchmark::DoNotOptimize(result.assignment);
+std::vector<size_t> ParseThreadList(const std::string& csv) {
+  std::vector<size_t> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string tok =
+        comma == std::string::npos ? csv.substr(start)
+                                   : csv.substr(start, comma - start);
+    if (!tok.empty()) {
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 1) out.push_back(static_cast<size_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
+  return out;
 }
-BENCHMARK(BM_HashPartition)->Arg(4000)->Arg(16000);
 
-void BM_MetisPartition(benchmark::State& state) {
-  CommunityGraph cg = GeneratePowerLawCommunity(
-      static_cast<VertexId>(state.range(0)), 8, 15.0, 2.0, 9);
-  VertexSplit split = MakeSplit(cg.graph.num_vertices(), 0.65, 0.10, 10);
-  MetisPartitioner metis(MetisMode::kVE);
-  for (auto _ : state) {
-    PartitionResult result = metis.Partition({cg.graph, split}, 4, 11);
-    benchmark::DoNotOptimize(result.assignment);
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const int reps =
+      static_cast<int>(flags.GetInt("reps", quick ? 3 : 5));
+  const std::vector<size_t> thread_list =
+      ParseThreadList(flags.GetString("threads", "2,4,8"));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_kernels.json");
+
+  // --- Deterministic inputs -------------------------------------------
+  Rng rng(20240605);
+  const size_t mm = quick ? 128 : 384;            // matmul m = k = n
+  const uint32_t agg_dst = quick ? 2048 : 16384;  // aggregation dsts
+  const uint32_t agg_deg = 16;
+  const uint32_t feat_dim = 64;
+  const uint32_t gather_rows = quick ? 8192 : 65536;
+
+  Tensor a(mm, mm), b(mm, mm), mm_out;
+  FillRandom(a, rng);
+  FillRandom(b, rng);
+
+  const uint32_t agg_src = agg_dst * 2;
+  SampleLayer layer = MakeLayer(agg_dst, agg_src, agg_deg, rng);
+  Tensor agg_in(agg_src, feat_dim), agg_out;
+  FillRandom(agg_in, rng);
+  Tensor bwd_in(agg_dst, feat_dim), bwd_out;
+  FillRandom(bwd_in, rng);
+
+  FeatureMatrix features(gather_rows * 2, feat_dim);
+  for (VertexId v = 0; v < gather_rows * 2; ++v) {
+    for (float& f : features.mutable_row(v)) {
+      f = static_cast<float>(rng.UniformReal());
+    }
   }
+  std::vector<VertexId> gather_ids(gather_rows);
+  for (auto& v : gather_ids) {
+    v = static_cast<VertexId>(rng.UniformInt(gather_rows * 2));
+  }
+  Tensor gather_out;
+
+  char shape[64];
+  std::vector<BenchCase> cases;
+  auto no_reset = [] {};
+
+  std::snprintf(shape, sizeof(shape), "%zux%zux%zu", mm, mm, mm);
+  cases.push_back({"matmul", shape, no_reset,
+                   [&] { MatMul(a, b, mm_out); },
+                   [&] { return TensorBytes(mm_out); }});
+  cases.push_back({"matmul_ta", shape, no_reset,
+                   [&] { MatMulTransA(a, b, mm_out); },
+                   [&] { return TensorBytes(mm_out); }});
+  cases.push_back({"matmul_tb", shape, no_reset,
+                   [&] { MatMulTransB(a, b, mm_out); },
+                   [&] { return TensorBytes(mm_out); }});
+
+  std::snprintf(shape, sizeof(shape), "%ud deg~%u dim=%u", agg_dst,
+                agg_deg, feat_dim);
+  cases.push_back({"agg_self", shape, no_reset,
+                   [&] { MeanAggregateWithSelf(layer, agg_in, agg_out); },
+                   [&] { return TensorBytes(agg_out); }});
+  cases.push_back(
+      {"agg_nbrs", shape, no_reset,
+       [&] { MeanAggregateNeighbors(layer, agg_in, agg_out); },
+       [&] { return TensorBytes(agg_out); }});
+  // The backward kernels accumulate into d_src; reset to a zeroed tensor
+  // so every measured run — and the compared snapshot — starts identical.
+  cases.push_back(
+      {"agg_self_bwd", shape,
+       [&] { bwd_out = Tensor(agg_src, feat_dim); },
+       [&] { MeanAggregateWithSelfBackward(layer, bwd_in, bwd_out); },
+       [&] { return TensorBytes(bwd_out); }});
+  cases.push_back(
+      {"agg_nbrs_bwd", shape,
+       [&] { bwd_out = Tensor(agg_src, feat_dim); },
+       [&] { MeanAggregateNeighborsBackward(layer, bwd_in, bwd_out); },
+       [&] { return TensorBytes(bwd_out); }});
+
+  std::snprintf(shape, sizeof(shape), "%ur dim=%u", gather_rows, feat_dim);
+  cases.push_back(
+      {"gather", shape, no_reset,
+       [&] { TransferEngine::Gather(gather_ids, features, gather_out); },
+       [&] { return TensorBytes(gather_out); }});
+
+  // --- Measure ---------------------------------------------------------
+  std::vector<KernelReport> reports;
+  bool all_identical = true;
+  for (const BenchCase& k : cases) {
+    KernelReport report;
+    report.name = k.name;
+    report.shape = k.shape;
+
+    SetComputeThreads(1);
+    report.serial_ms = MeasureMs(k, reps);
+    k.reset();
+    k.run();
+    const std::vector<char> golden = k.bytes();
+
+    for (size_t t : thread_list) {
+      SetComputeThreads(t);
+      ThreadSample sample;
+      sample.threads = t;
+      sample.ms = MeasureMs(k, reps);
+      sample.speedup =
+          sample.ms > 0.0 ? report.serial_ms / sample.ms : 0.0;
+      k.reset();
+      k.run();
+      const std::vector<char> parallel = k.bytes();
+      sample.identical = parallel.size() == golden.size() &&
+                         std::memcmp(parallel.data(), golden.data(),
+                                     golden.size()) == 0;
+      if (!sample.identical) all_identical = false;
+      report.samples.push_back(sample);
+    }
+    reports.push_back(std::move(report));
+  }
+  SetComputeThreads(1);
+
+  // --- Report ----------------------------------------------------------
+  Table table("Kernel regression: serial vs parallel (best-of-" +
+              std::to_string(reps) + ")");
+  std::vector<std::string> header = {"kernel", "shape", "serial ms"};
+  for (size_t t : thread_list) {
+    header.push_back("t=" + std::to_string(t) + " ms");
+    header.push_back("x" + std::to_string(t));
+    header.push_back("same");
+  }
+  table.SetHeader(std::move(header));
+  for (const KernelReport& r : reports) {
+    std::vector<std::string> row = {r.name, r.shape,
+                                    Table::Num(r.serial_ms, 3)};
+    for (const ThreadSample& s : r.samples) {
+      row.push_back(Table::Num(s.ms, 3));
+      row.push_back(Table::Num(s.speedup, 2));
+      row.push_back(s.identical ? "yes" : "NO");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+
+  if (!flags.GetBool("no_json", false)) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"quick\": %s,\n  \"reps\": %d,\n",
+                 quick ? "true" : "false", reps);
+    std::fprintf(f, "  \"all_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "  \"kernels\": [\n");
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const KernelReport& r = reports[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                   "\"serial_ms\": %.4f, \"parallel\": [",
+                   r.name.c_str(), r.shape.c_str(), r.serial_ms);
+      for (size_t j = 0; j < r.samples.size(); ++j) {
+        const ThreadSample& s = r.samples[j];
+        std::fprintf(f,
+                     "%s{\"threads\": %zu, \"ms\": %.4f, "
+                     "\"speedup\": %.3f, \"identical\": %s}",
+                     j ? ", " : "", s.threads, s.ms, s.speedup,
+                     s.identical ? "true" : "false");
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json written to %s]\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel output differs from serial baseline\n");
+    return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_MetisPartition)->Arg(2000)->Arg(8000)->Unit(
-    benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace gnndm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gnndm::Run(argc, argv); }

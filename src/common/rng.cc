@@ -7,16 +7,23 @@
 namespace gnndm {
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  std::vector<uint32_t> out;
+  SampleWithoutReplacement(n, k, out);
+  return out;
+}
+
+void Rng::SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                   std::vector<uint32_t>& out) {
+  out.clear();
   if (k >= n) {
-    std::vector<uint32_t> all(n);
-    std::iota(all.begin(), all.end(), 0u);
-    return all;
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0u);
+    return;
   }
   if (k * 3 < n) {
     // Floyd's algorithm: expected O(k) with a small hash set.
     std::unordered_set<uint32_t> chosen;
     chosen.reserve(k * 2);
-    std::vector<uint32_t> out;
     out.reserve(k);
     for (uint32_t j = n - k; j < n; ++j) {
       uint32_t t = static_cast<uint32_t>(UniformInt(j + 1));
@@ -27,17 +34,16 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
         out.push_back(j);
       }
     }
-    return out;
+    return;
   }
   // Dense case: partial Fisher–Yates over an index array.
-  std::vector<uint32_t> idx(n);
-  std::iota(idx.begin(), idx.end(), 0u);
+  out.resize(n);
+  std::iota(out.begin(), out.end(), 0u);
   for (uint32_t i = 0; i < k; ++i) {
     uint32_t j = i + static_cast<uint32_t>(UniformInt(n - i));
-    std::swap(idx[i], idx[j]);
+    std::swap(out[i], out[j]);
   }
-  idx.resize(k);
-  return idx;
+  out.resize(k);
 }
 
 }  // namespace gnndm

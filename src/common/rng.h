@@ -107,6 +107,12 @@ class Rng {
   /// The returned order is unspecified. When k >= n returns all of [0, n).
   std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
 
+  /// Allocation-free variant for hot loops: fills `out` (clearing any
+  /// previous contents, reusing its capacity) with the same draws — and
+  /// the same RNG stream consumption — as the returning overload.
+  void SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                std::vector<uint32_t>& out);
+
   /// Derives an independent child generator; use to hand deterministic
   /// streams to worker threads.
   Rng Fork() { return Rng(Next()); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "core/async_loader.h"
 #include "core/costs.h"
 #include "graph/stats.h"
@@ -16,6 +17,10 @@ Trainer::Trainer(const Dataset& dataset, const TrainerConfig& config)
       config_(config),
       rng_(config.seed),
       sampler_(config.hops) {
+  // Kernel threading is process-wide (the pool is shared by design);
+  // apply it here so trainer construction is the one place the knob
+  // takes effect. 0 leaves the current setting untouched.
+  if (config.num_threads > 0) SetComputeThreads(config.num_threads);
   ModelConfig model_config;
   model_config.in_dim = dataset.features.dim();
   model_config.hidden_dim = config.hidden_dim;

@@ -64,6 +64,13 @@ struct TrainerConfig {
   bool p3_feature_parallel = false;
   DeviceModel device;
 
+  /// Compute threads for the ParallelFor kernel layer (matmul,
+  /// aggregation, gather). 0 = leave the process-wide setting alone
+  /// (GNNDM_THREADS env or hardware concurrency); 1 = force serial.
+  /// Kernels are byte-identical at any value, so this is a pure
+  /// throughput knob.
+  size_t num_threads = 0;
+
   uint64_t seed = 11;
 };
 

@@ -1,28 +1,46 @@
 #include "nn/aggregate.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace gnndm {
+
+namespace {
+
+/// Forward grain: hand off at least ~8K floats of output per chunk so
+/// narrow feature dims don't drown in scheduling overhead.
+size_t RowGrain(size_t d) {
+  return std::max<size_t>(1, 8192 / std::max<size_t>(1, d));
+}
+
+}  // namespace
 
 void MeanAggregateWithSelf(const SampleLayer& layer, const Tensor& src,
                            Tensor& out) {
   GNNDM_CHECK(src.rows() == layer.num_src);
   const size_t d = src.cols();
   out.Resize(layer.num_dst, d);
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    float* orow = out.data() + static_cast<size_t>(i) * d;
-    const float* self = src.data() + static_cast<size_t>(i) * d;
-    for (size_t f = 0; f < d; ++f) orow[f] = self[f];
-    const uint32_t begin = layer.offsets[i];
-    const uint32_t end = layer.offsets[i + 1];
-    for (uint32_t e = begin; e < end; ++e) {
-      const float* nrow =
-          src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-      for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+  // Row-parallel: destination rows are written by exactly one chunk and
+  // read-only share src, and the per-row edge walk keeps its serial
+  // order — byte-identical at any thread count.
+  ParallelFor(layer.num_dst, RowGrain(d), [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      float* orow = out.data() + i * d;
+      const float* self = src.data() + i * d;
+      for (size_t f = 0; f < d; ++f) orow[f] = self[f];
+      const uint32_t begin = layer.offsets[i];
+      const uint32_t end = layer.offsets[i + 1];
+      for (uint32_t e = begin; e < end; ++e) {
+        const float* nrow =
+            src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+        for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+      }
+      const float inv = 1.0f / static_cast<float>(1 + end - begin);
+      for (size_t f = 0; f < d; ++f) orow[f] *= inv;
     }
-    const float inv = 1.0f / static_cast<float>(1 + end - begin);
-    for (size_t f = 0; f < d; ++f) orow[f] *= inv;
-  }
+  });
 }
 
 void MeanAggregateWithSelfBackward(const SampleLayer& layer,
@@ -32,19 +50,34 @@ void MeanAggregateWithSelfBackward(const SampleLayer& layer,
   if (d_src.rows() != layer.num_src || d_src.cols() != d) {
     d_src.Resize(layer.num_src, d);
   }
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    const float* grow = d_out.data() + static_cast<size_t>(i) * d;
-    const uint32_t begin = layer.offsets[i];
-    const uint32_t end = layer.offsets[i + 1];
-    const float inv = 1.0f / static_cast<float>(1 + end - begin);
-    float* self = d_src.data() + static_cast<size_t>(i) * d;
-    for (size_t f = 0; f < d; ++f) self[f] += grow[f] * inv;
-    for (uint32_t e = begin; e < end; ++e) {
-      float* nrow =
-          d_src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-      for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
-    }
-  }
+  // Destination-partitioned scatter: every shard walks the full dst/edge
+  // list in serial order but applies only the updates whose d_src row
+  // falls inside its own contiguous slice. Shards write disjoint rows
+  // (race-free, no atomics), and each row still receives its
+  // contributions in exactly the serial order (ascending dst, self
+  // before edges) — byte-identical to the serial loop. The redundant
+  // index re-scan is cheap next to the d-wide row updates, and the shard
+  // count is bounded by the thread count (ParallelForShards), not the
+  // chunk heuristic.
+  ParallelForShards(
+      layer.num_src, /*min_shard=*/256, [&](size_t s0, size_t s1) {
+        for (uint32_t i = 0; i < layer.num_dst; ++i) {
+          const uint32_t begin = layer.offsets[i];
+          const uint32_t end = layer.offsets[i + 1];
+          const float inv = 1.0f / static_cast<float>(1 + end - begin);
+          const float* grow = d_out.data() + static_cast<size_t>(i) * d;
+          if (i >= s0 && i < s1) {
+            float* self = d_src.data() + static_cast<size_t>(i) * d;
+            for (size_t f = 0; f < d; ++f) self[f] += grow[f] * inv;
+          }
+          for (uint32_t e = begin; e < end; ++e) {
+            const uint32_t t = layer.neighbors[e];
+            if (t < s0 || t >= s1) continue;
+            float* nrow = d_src.data() + static_cast<size_t>(t) * d;
+            for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
+          }
+        }
+      });
 }
 
 void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
@@ -52,19 +85,21 @@ void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
   GNNDM_CHECK(src.rows() == layer.num_src);
   const size_t d = src.cols();
   out.Resize(layer.num_dst, d);
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    float* orow = out.data() + static_cast<size_t>(i) * d;
-    const uint32_t begin = layer.offsets[i];
-    const uint32_t end = layer.offsets[i + 1];
-    if (begin == end) continue;  // zero row
-    for (uint32_t e = begin; e < end; ++e) {
-      const float* nrow =
-          src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-      for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+  ParallelFor(layer.num_dst, RowGrain(d), [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      float* orow = out.data() + i * d;
+      const uint32_t begin = layer.offsets[i];
+      const uint32_t end = layer.offsets[i + 1];
+      if (begin == end) continue;  // zero row
+      for (uint32_t e = begin; e < end; ++e) {
+        const float* nrow =
+            src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
+        for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
+      }
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      for (size_t f = 0; f < d; ++f) orow[f] *= inv;
     }
-    const float inv = 1.0f / static_cast<float>(end - begin);
-    for (size_t f = 0; f < d; ++f) orow[f] *= inv;
-  }
+  });
 }
 
 void MeanAggregateNeighborsBackward(const SampleLayer& layer,
@@ -74,18 +109,23 @@ void MeanAggregateNeighborsBackward(const SampleLayer& layer,
   if (d_src.rows() != layer.num_src || d_src.cols() != d) {
     d_src.Resize(layer.num_src, d);
   }
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    const uint32_t begin = layer.offsets[i];
-    const uint32_t end = layer.offsets[i + 1];
-    if (begin == end) continue;
-    const float* grow = d_out.data() + static_cast<size_t>(i) * d;
-    const float inv = 1.0f / static_cast<float>(end - begin);
-    for (uint32_t e = begin; e < end; ++e) {
-      float* nrow =
-          d_src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-      for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
-    }
-  }
+  // Same destination-partitioned scheme as MeanAggregateWithSelfBackward.
+  ParallelForShards(
+      layer.num_src, /*min_shard=*/256, [&](size_t s0, size_t s1) {
+        for (uint32_t i = 0; i < layer.num_dst; ++i) {
+          const uint32_t begin = layer.offsets[i];
+          const uint32_t end = layer.offsets[i + 1];
+          if (begin == end) continue;
+          const float* grow = d_out.data() + static_cast<size_t>(i) * d;
+          const float inv = 1.0f / static_cast<float>(end - begin);
+          for (uint32_t e = begin; e < end; ++e) {
+            const uint32_t t = layer.neighbors[e];
+            if (t < s0 || t >= s1) continue;
+            float* nrow = d_src.data() + static_cast<size_t>(t) * d;
+            for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
+          }
+        }
+      });
 }
 
 }  // namespace gnndm

@@ -1,6 +1,9 @@
 #include "nn/layers.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "nn/aggregate.h"
 #include "tensor/ops.h"
 
@@ -81,13 +84,18 @@ SageConv::SageConv(std::string name, size_t in_dim, size_t out_dim,
 const Tensor& SageConv::Forward(const SampleLayer& layer, const Tensor& src) {
   GNNDM_CHECK(src.rows() == layer.num_src);
   const size_t in_dim = src.cols();
-  // Self branch: destination i's features are src row i.
+  // Self branch: destination i's features are src row i. Row-parallel
+  // copy — disjoint rows, byte-identical at any thread count.
   self_cache_.Resize(layer.num_dst, in_dim);
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    auto srow = src.row(i);
-    auto drow = self_cache_.row(i);
-    for (size_t f = 0; f < in_dim; ++f) drow[f] = srow[f];
-  }
+  ParallelFor(layer.num_dst,
+              std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
+              [&](size_t r0, size_t r1) {
+                for (size_t i = r0; i < r1; ++i) {
+                  auto srow = src.row(i);
+                  auto drow = self_cache_.row(i);
+                  for (size_t f = 0; f < in_dim; ++f) drow[f] = srow[f];
+                }
+              });
   MeanAggregateNeighbors(layer, src, agg_cache_);
 
   MatMul(self_cache_, weight_self_.value, output_);
@@ -118,11 +126,15 @@ Tensor SageConv::Backward(const SampleLayer& layer, const Tensor& d_out) {
   // Self branch gradient lands on the first num_dst source rows.
   Tensor d_self;
   MatMulTransB(dz, weight_self_.value, d_self);
-  for (uint32_t i = 0; i < layer.num_dst; ++i) {
-    auto grow = d_self.row(i);
-    auto drow = d_src.row(i);
-    for (size_t f = 0; f < in_dim; ++f) drow[f] += grow[f];
-  }
+  ParallelFor(layer.num_dst,
+              std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
+              [&](size_t r0, size_t r1) {
+                for (size_t i = r0; i < r1; ++i) {
+                  auto grow = d_self.row(i);
+                  auto drow = d_src.row(i);
+                  for (size_t f = 0; f < in_dim; ++f) drow[f] += grow[f];
+                }
+              });
   // Neighbor branch gradient scatters through the aggregation.
   Tensor d_agg;
   MatMulTransB(dz, weight_neigh_.value, d_agg);

@@ -71,9 +71,11 @@ void Gcn::Backward(const SampledSubgraph& sg, const Tensor& d_logits) {
 
 std::vector<Parameter*> Gcn::Parameters() {
   std::vector<Parameter*> params;
+  // serial-ok: structural walk over a handful of layers, not a kernel.
   for (auto& conv : convs_) {
     for (Parameter* p : conv.Parameters()) params.push_back(p);
   }
+  // serial-ok: structural walk over a handful of layers, not a kernel.
   for (auto& layer : mlp_) {
     for (Parameter* p : layer.Parameters()) params.push_back(p);
   }
@@ -121,9 +123,11 @@ void GraphSage::Backward(const SampledSubgraph& sg, const Tensor& d_logits) {
 
 std::vector<Parameter*> GraphSage::Parameters() {
   std::vector<Parameter*> params;
+  // serial-ok: structural walk over a handful of layers, not a kernel.
   for (auto& conv : convs_) {
     for (Parameter* p : conv.Parameters()) params.push_back(p);
   }
+  // serial-ok: structural walk over a handful of layers, not a kernel.
   for (auto& layer : mlp_) {
     for (Parameter* p : layer.Parameters()) params.push_back(p);
   }
@@ -150,6 +154,7 @@ const Tensor& Mlp::Forward(const SampledSubgraph& sg, const Tensor& input,
   const size_t num_seeds = sg.seeds().size();
   GNNDM_CHECK(input.rows() >= num_seeds);
   seed_input_.Resize(num_seeds, input.cols());
+  // serial-ok: at most one batch of rows; memory-bound copy off hot path.
   for (size_t i = 0; i < num_seeds; ++i) {
     auto src = input.row(i);
     auto dst = seed_input_.row(i);
@@ -169,6 +174,7 @@ void Mlp::Backward(const SampledSubgraph& /*sg*/, const Tensor& d_logits) {
 
 std::vector<Parameter*> Mlp::Parameters() {
   std::vector<Parameter*> params;
+  // serial-ok: structural walk over a handful of layers, not a kernel.
   for (auto& layer : layers_) {
     for (Parameter* p : layer.Parameters()) params.push_back(p);
   }

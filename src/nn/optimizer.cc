@@ -19,6 +19,8 @@ Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
 }
 
 void Sgd::Step() {
+  // Parameter tensors are tiny (hidden_dim^2 floats); the update is
+  // memory-bound and not worth scheduling. serial-ok.
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     float* w = p->value.data();
@@ -58,6 +60,8 @@ void Adam::Step() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  // Parameter tensors are tiny (hidden_dim^2 floats); the update is
+  // memory-bound and not worth scheduling. serial-ok.
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     float* w = p->value.data();

@@ -1,8 +1,7 @@
 #include "sampling/layerwise_sampler.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -28,14 +27,16 @@ SampledSubgraph LayerwiseSampler::Sample(const CsrGraph& graph,
     const std::vector<VertexId>& dst_ids = sg.node_ids[dst_level];
 
     // Candidate pool: union of all dst neighborhoods, weighted by degree.
-    std::vector<VertexId> candidates;
-    std::unordered_set<VertexId> seen;
-    std::vector<double> weights;
+    // `seen_` (timestamped dense set) and the candidate/weight buffers are
+    // per-sampler scratch — no hashing or allocation in steady state.
+    candidates_.clear();
+    weights_.clear();
+    seen_.Reset(graph.num_vertices());
     for (VertexId dst : dst_ids) {
       for (VertexId u : graph.neighbors(dst)) {
-        if (seen.insert(u).second) {
-          candidates.push_back(u);
-          weights.push_back(1.0 + graph.degree(u));
+        if (seen_.Insert(u)) {
+          candidates_.push_back(u);
+          weights_.push_back(1.0 + graph.degree(u));
         }
       }
     }
@@ -44,26 +45,29 @@ SampledSubgraph LayerwiseSampler::Sample(const CsrGraph& graph,
     // replacement, via exponential-race keys (Efraimidis–Spirakis).
     const uint32_t budget =
         std::min<uint32_t>(budgets_[hop],
-                           static_cast<uint32_t>(candidates.size()));
-    std::vector<std::pair<double, uint32_t>> keys(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
+                           static_cast<uint32_t>(candidates_.size()));
+    key_scratch_.resize(candidates_.size());
+    for (size_t i = 0; i < candidates_.size(); ++i) {
       double u = rng.UniformReal();
       if (u <= 0.0) u = 1e-300;
-      keys[i] = {-std::log(u) / weights[i], static_cast<uint32_t>(i)};
+      key_scratch_[i] = {-std::log(u) / weights_[i],
+                         static_cast<uint32_t>(i)};
     }
-    std::partial_sort(keys.begin(), keys.begin() + budget, keys.end());
+    std::partial_sort(key_scratch_.begin(), key_scratch_.begin() + budget,
+                      key_scratch_.end());
 
     // Source level: dst copy first, then chosen candidates.
     std::vector<VertexId>& src_ids = sg.node_ids[src_level];
     src_ids = dst_ids;
-    std::unordered_map<VertexId, uint32_t> local_index;
+    renumber_.Reset(graph.num_vertices());
     for (uint32_t i = 0; i < dst_ids.size(); ++i) {
-      local_index.emplace(dst_ids[i], i);
+      renumber_.InsertOrGet(dst_ids[i], i);
     }
     for (uint32_t i = 0; i < budget; ++i) {
-      VertexId u = candidates[keys[i].second];
-      auto [it, inserted] =
-          local_index.emplace(u, static_cast<uint32_t>(src_ids.size()));
+      VertexId u = candidates_[key_scratch_[i].second];
+      auto [slot, inserted] =
+          renumber_.InsertOrGet(u, static_cast<uint32_t>(src_ids.size()));
+      (void)slot;
       if (inserted) src_ids.push_back(u);
     }
 
@@ -73,9 +77,9 @@ SampledSubgraph LayerwiseSampler::Sample(const CsrGraph& graph,
     layer.offsets.assign(1, 0);
     for (VertexId dst : dst_ids) {
       for (VertexId u : graph.neighbors(dst)) {
-        auto it = local_index.find(u);
-        if (it != local_index.end()) {
-          layer.neighbors.push_back(it->second);
+        const uint32_t slot = renumber_.Find(u);
+        if (slot != VertexRenumberer::kAbsent) {
+          layer.neighbors.push_back(slot);
         }
       }
       layer.offsets.push_back(

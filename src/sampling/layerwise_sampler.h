@@ -2,11 +2,13 @@
 #define GNNDM_SAMPLING_LAYERWISE_SAMPLER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/csr_graph.h"
 #include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 
@@ -30,6 +32,14 @@ class LayerwiseSampler {
 
  private:
   std::vector<uint32_t> budgets_;
+
+  /// Reusable scratch (see NeighborSampler): Sample() is logically const
+  /// but not safe for concurrent calls on one instance — copy per worker.
+  mutable VertexRenumberer renumber_;
+  mutable VertexRenumberer seen_;
+  mutable std::vector<VertexId> candidates_;
+  mutable std::vector<double> weights_;
+  mutable std::vector<std::pair<double, uint32_t>> key_scratch_;
 };
 
 }  // namespace gnndm

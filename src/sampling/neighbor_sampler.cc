@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <span>
 #include <sstream>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,12 +34,24 @@ namespace {
 
 /// Weighted sampling without replacement (Efraimidis–Spirakis keys) of
 /// `k` neighbor positions, with weights given by each neighbor's degree
-/// (or its inverse).
-std::vector<uint32_t> WeightedPicks(const CsrGraph& graph,
-                                    std::span<const VertexId> nbrs,
-                                    uint32_t k, NeighborWeighting weighting,
-                                    Rng& rng) {
-  std::vector<std::pair<double, uint32_t>> keys(nbrs.size());
+/// (or its inverse). `keys` and `picks` are caller-owned scratch reused
+/// across calls; the result is left in `picks`.
+void WeightedPicks(const CsrGraph& graph, std::span<const VertexId> nbrs,
+                   uint32_t k, NeighborWeighting weighting, Rng& rng,
+                   std::vector<std::pair<double, uint32_t>>& keys,
+                   std::vector<uint32_t>& picks) {
+  picks.resize(k);
+  if (k == nbrs.size()) {
+    // Keep-everything fast path: no keys, no log() per neighbor — common
+    // on low-degree vertices where the fanout covers the whole
+    // neighborhood. (Callers draw nothing from `rng` on this path, which
+    // is fine: the draw sequence only has to be deterministic, not
+    // identical across code versions — and the full-degree case never
+    // reached the key loop before either, see Sample().)
+    std::iota(picks.begin(), picks.end(), 0u);
+    return;
+  }
+  keys.resize(nbrs.size());
   for (uint32_t i = 0; i < nbrs.size(); ++i) {
     const double degree = 1.0 + graph.degree(nbrs[i]);
     // Inverse weighting uses 1/deg^2 so a hub's many selection chances
@@ -54,9 +66,7 @@ std::vector<uint32_t> WeightedPicks(const CsrGraph& graph,
     keys[i] = {-std::log(u) / weight, i};
   }
   std::partial_sort(keys.begin(), keys.begin() + k, keys.end());
-  std::vector<uint32_t> picks(k);
   for (uint32_t i = 0; i < k; ++i) picks[i] = keys[i].second;
-  return picks;
 }
 
 }  // namespace
@@ -102,12 +112,13 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
 
     // Source level starts with a copy of the destinations (self features
     // must be available for COMBINE), then unique sampled neighbors.
+    // Renumbering goes through the timestamped dense id-map: same
+    // insertion-order slots the hash map assigned, no hashing, O(1) reset.
     std::vector<VertexId>& src_ids = sg.node_ids[src_level];
     src_ids = dst_ids;
-    std::unordered_map<VertexId, uint32_t> local_index;
-    local_index.reserve(dst_ids.size() * 4);
+    renumber_.Reset(graph.num_vertices());
     for (uint32_t i = 0; i < dst_ids.size(); ++i) {
-      local_index.emplace(dst_ids[i], i);
+      renumber_.InsertOrGet(dst_ids[i], i);
     }
 
     SampleLayer& layer = sg.layers[src_level];
@@ -122,22 +133,24 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
       if (k == degree) {
         // Keep the whole neighborhood — no sampling needed.
         for (VertexId u : nbrs) {
-          auto [it, inserted] = local_index.emplace(
+          auto [slot, inserted] = renumber_.InsertOrGet(
               u, static_cast<uint32_t>(src_ids.size()));
           if (inserted) src_ids.push_back(u);
-          layer.neighbors.push_back(it->second);
+          layer.neighbors.push_back(slot);
         }
       } else {
-        std::vector<uint32_t> picks =
-            spec.weighting == NeighborWeighting::kUniform
-                ? rng.SampleWithoutReplacement(degree, k)
-                : WeightedPicks(graph, nbrs, k, spec.weighting, rng);
-        for (uint32_t pick : picks) {
+        if (spec.weighting == NeighborWeighting::kUniform) {
+          rng.SampleWithoutReplacement(degree, k, pick_scratch_);
+        } else {
+          WeightedPicks(graph, nbrs, k, spec.weighting, rng, key_scratch_,
+                        pick_scratch_);
+        }
+        for (uint32_t pick : pick_scratch_) {
           VertexId u = nbrs[pick];
-          auto [it, inserted] = local_index.emplace(
+          auto [slot, inserted] = renumber_.InsertOrGet(
               u, static_cast<uint32_t>(src_ids.size()));
           if (inserted) src_ids.push_back(u);
-          layer.neighbors.push_back(it->second);
+          layer.neighbors.push_back(slot);
         }
       }
       layer.offsets.push_back(

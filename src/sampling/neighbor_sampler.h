@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/csr_graph.h"
 #include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 
@@ -108,6 +110,15 @@ class NeighborSampler {
   static uint32_t SampleCount(const HopSpec& spec, uint32_t degree);
 
   std::vector<HopSpec> hops_;
+
+  /// Reusable scratch so steady-state sampling performs no hashing and no
+  /// heap allocation (batch preparation is the paper's Fig. 2 hot path).
+  /// Sample() stays logically const but mutates these buffers; a single
+  /// sampler instance must therefore not be shared by concurrent callers —
+  /// copy the sampler per worker instead (AsyncBatchLoader already does).
+  mutable VertexRenumberer renumber_;
+  mutable std::vector<std::pair<double, uint32_t>> key_scratch_;
+  mutable std::vector<uint32_t> pick_scratch_;
 };
 
 }  // namespace gnndm

@@ -1,7 +1,6 @@
 #include "sampling/randomwalk_sampler.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -20,32 +19,41 @@ RandomWalkSampler::RandomWalkSampler(std::vector<uint32_t> fanouts,
   GNNDM_CHECK(restart_ >= 0.0 && restart_ < 1.0);
 }
 
-std::vector<VertexId> RandomWalkSampler::ImportantNeighbors(
+const std::vector<VertexId>& RandomWalkSampler::ImportantNeighbors(
     const CsrGraph& graph, VertexId start, uint32_t fanout, Rng& rng) const {
-  std::unordered_map<VertexId, uint32_t> visits;
+  // Dense visit counters + touched list instead of a hash map: counting a
+  // visit is one array increment, and only the vertices actually reached
+  // are swept afterwards. The partial_sort comparator is a strict total
+  // order (count desc, id asc), so the ranking — and everything
+  // downstream — is independent of the order counts are collected in.
+  visit_count_.resize(graph.num_vertices(), 0);
+  for (VertexId v : visited_) visit_count_[v] = 0;
+  visited_.clear();
   for (uint32_t walk = 0; walk < num_walks_; ++walk) {
     VertexId current = start;
     for (uint32_t step = 0; step < walk_length_; ++step) {
       auto nbrs = graph.neighbors(current);
       if (nbrs.empty()) break;
       current = nbrs[rng.UniformInt(nbrs.size())];
-      if (current != start) ++visits[current];
+      if (current != start) {
+        if (visit_count_[current]++ == 0) visited_.push_back(current);
+      }
       if (rng.Bernoulli(restart_)) current = start;
     }
   }
-  std::vector<std::pair<uint32_t, VertexId>> ranked;
-  ranked.reserve(visits.size());
-  for (const auto& [v, count] : visits) ranked.push_back({count, v});
-  const size_t keep = std::min<size_t>(fanout, ranked.size());
-  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+  ranked_.clear();
+  ranked_.reserve(visited_.size());
+  for (VertexId v : visited_) ranked_.push_back({visit_count_[v], v});
+  const size_t keep = std::min<size_t>(fanout, ranked_.size());
+  std::partial_sort(ranked_.begin(), ranked_.begin() + keep, ranked_.end(),
                     [](const auto& a, const auto& b) {
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;  // deterministic ties
                     });
-  std::vector<VertexId> out;
-  out.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) out.push_back(ranked[i].second);
-  return out;
+  important_.clear();
+  important_.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) important_.push_back(ranked_[i].second);
+  return important_;
 }
 
 SampledSubgraph RandomWalkSampler::Sample(const CsrGraph& graph,
@@ -64,9 +72,9 @@ SampledSubgraph RandomWalkSampler::Sample(const CsrGraph& graph,
 
     std::vector<VertexId>& src_ids = sg.node_ids[src_level];
     src_ids = dst_ids;
-    std::unordered_map<VertexId, uint32_t> local_index;
+    renumber_.Reset(graph.num_vertices());
     for (uint32_t i = 0; i < dst_ids.size(); ++i) {
-      local_index.emplace(dst_ids[i], i);
+      renumber_.InsertOrGet(dst_ids[i], i);
     }
 
     SampleLayer& layer = sg.layers[src_level];
@@ -75,10 +83,10 @@ SampledSubgraph RandomWalkSampler::Sample(const CsrGraph& graph,
     for (VertexId dst : dst_ids) {
       for (VertexId u :
            ImportantNeighbors(graph, dst, fanouts_[hop], rng)) {
-        auto [it, inserted] =
-            local_index.emplace(u, static_cast<uint32_t>(src_ids.size()));
+        auto [slot, inserted] = renumber_.InsertOrGet(
+            u, static_cast<uint32_t>(src_ids.size()));
         if (inserted) src_ids.push_back(u);
-        layer.neighbors.push_back(it->second);
+        layer.neighbors.push_back(slot);
       }
       layer.offsets.push_back(
           static_cast<uint32_t>(layer.neighbors.size()));

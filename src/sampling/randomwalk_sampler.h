@@ -2,11 +2,13 @@
 #define GNNDM_SAMPLING_RANDOMWALK_SAMPLER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/csr_graph.h"
 #include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 
@@ -34,14 +36,25 @@ class RandomWalkSampler {
 
  private:
   /// Top-`fanout` most-visited vertices over the walks from `start`.
-  std::vector<VertexId> ImportantNeighbors(const CsrGraph& graph,
-                                           VertexId start, uint32_t fanout,
-                                           Rng& rng) const;
+  /// Returns a reference to per-sampler scratch, valid until the next
+  /// call on this instance.
+  const std::vector<VertexId>& ImportantNeighbors(const CsrGraph& graph,
+                                                  VertexId start,
+                                                  uint32_t fanout,
+                                                  Rng& rng) const;
 
   std::vector<uint32_t> fanouts_;
   uint32_t num_walks_;
   uint32_t walk_length_;
   double restart_;
+
+  /// Reusable scratch (see NeighborSampler): Sample() is logically const
+  /// but not safe for concurrent calls on one instance — copy per worker.
+  mutable VertexRenumberer renumber_;
+  mutable std::vector<uint32_t> visit_count_;
+  mutable std::vector<VertexId> visited_;
+  mutable std::vector<std::pair<uint32_t, VertexId>> ranked_;
+  mutable std::vector<VertexId> important_;
 };
 
 }  // namespace gnndm

@@ -1,7 +1,5 @@
 #include "sampling/subgraph_sampler.h"
 
-#include <unordered_map>
-
 #include "common/logging.h"
 
 namespace gnndm {
@@ -17,10 +15,9 @@ SampledSubgraph SubgraphSampler::Sample(const CsrGraph& graph,
   // Collect vertices: seeds first (they must be the first num_dst entries
   // at every level so logits line up with seed labels), then walk visits.
   std::vector<VertexId> vertices = seeds;
-  std::unordered_map<VertexId, uint32_t> local_index;
-  local_index.reserve(seeds.size() * (walk_length_ + 1));
+  renumber_.Reset(graph.num_vertices());
   for (uint32_t i = 0; i < seeds.size(); ++i) {
-    local_index.emplace(seeds[i], i);
+    renumber_.InsertOrGet(seeds[i], i);
   }
   for (VertexId seed : seeds) {
     VertexId current = seed;
@@ -28,10 +25,10 @@ SampledSubgraph SubgraphSampler::Sample(const CsrGraph& graph,
       auto nbrs = graph.neighbors(current);
       if (nbrs.empty()) break;
       current = nbrs[rng.UniformInt(nbrs.size())];
-      auto [it, inserted] = local_index.emplace(
+      auto [slot, inserted] = renumber_.InsertOrGet(
           current, static_cast<uint32_t>(vertices.size()));
       if (inserted) vertices.push_back(current);
-      (void)it;
+      (void)slot;
     }
   }
 
@@ -43,8 +40,10 @@ SampledSubgraph SubgraphSampler::Sample(const CsrGraph& graph,
   induced.offsets.assign(1, 0);
   for (VertexId v : vertices) {
     for (VertexId u : graph.neighbors(v)) {
-      auto it = local_index.find(u);
-      if (it != local_index.end()) induced.neighbors.push_back(it->second);
+      const uint32_t slot = renumber_.Find(u);
+      if (slot != VertexRenumberer::kAbsent) {
+        induced.neighbors.push_back(slot);
+      }
     }
     induced.offsets.push_back(
         static_cast<uint32_t>(induced.neighbors.size()));

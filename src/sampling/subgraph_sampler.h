@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "graph/csr_graph.h"
 #include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 
@@ -29,6 +30,10 @@ class SubgraphSampler {
  private:
   uint32_t walk_length_;
   uint32_t num_layers_;
+
+  /// Reusable scratch (see NeighborSampler): Sample() is logically const
+  /// but not safe for concurrent calls on one instance — copy per worker.
+  mutable VertexRenumberer renumber_;
 };
 
 }  // namespace gnndm

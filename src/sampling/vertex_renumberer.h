@@ -1,0 +1,82 @@
+#ifndef GNNDM_SAMPLING_VERTEX_RENUMBERER_H_
+#define GNNDM_SAMPLING_VERTEX_RENUMBERER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gnndm {
+
+/// Timestamped dense global→local id map for sampler vertex renumbering.
+///
+/// Replaces the per-hop std::unordered_map<VertexId, uint32_t>: lookups
+/// and inserts are a single array access, and Reset() is an O(1)
+/// generation bump instead of a rehash/clear, so steady-state sampling
+/// does no hashing and no heap allocation. The cost is two u32 arrays
+/// sized to the graph's vertex count, kept alive across Sample() calls as
+/// per-sampler scratch — the classic dense-workspace trade every
+/// production sampler makes once graphs fit in memory.
+///
+/// Slot assignment is caller-driven (insertion order), so a sampler
+/// switching to this map assigns exactly the local ids it assigned with
+/// the hash map — sampled subgraphs stay bit-identical.
+///
+/// Not thread-safe; one instance per sampler instance (samplers are
+/// copied per worker, see AsyncBatchLoader).
+class VertexRenumberer {
+ public:
+  static constexpr uint32_t kAbsent = std::numeric_limits<uint32_t>::max();
+
+  /// Starts a new empty generation over the id universe [0, num_ids).
+  /// O(1) amortized: grows the arrays on first use or when the graph
+  /// grows, otherwise just bumps the generation stamp.
+  void Reset(VertexId num_ids) {
+    if (slot_.size() < num_ids) {
+      slot_.resize(num_ids, 0);
+      stamp_.resize(num_ids, 0);
+    }
+    if (++epoch_ == 0) {
+      // u32 generation wrapped: stale stamps could collide, refill once
+      // every ~4 billion resets.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// If `v` is absent, inserts it with local id `next_slot` and returns
+  /// {next_slot, true}; otherwise returns {existing slot, false}.
+  std::pair<uint32_t, bool> InsertOrGet(VertexId v, uint32_t next_slot) {
+    if (stamp_[v] == epoch_) return {slot_[v], false};
+    stamp_[v] = epoch_;
+    slot_[v] = next_slot;
+    return {next_slot, true};
+  }
+
+  /// Set-style membership insert: true if `v` was newly added.
+  bool Insert(VertexId v) {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    slot_[v] = 0;
+    return true;
+  }
+
+  bool Contains(VertexId v) const { return stamp_[v] == epoch_; }
+
+  /// Local id of `v`, or kAbsent if not inserted this generation.
+  uint32_t Find(VertexId v) const {
+    return stamp_[v] == epoch_ ? slot_[v] : kAbsent;
+  }
+
+ private:
+  std::vector<uint32_t> slot_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_SAMPLING_VERTEX_RENUMBERER_H_

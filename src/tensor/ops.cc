@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace gnndm {
 
@@ -11,69 +12,104 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
   GNNDM_CHECK(a.cols() == b.rows());
   out.Resize(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + kk * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  if (m == 0 || k == 0 || n == 0) return;
+  // Tiled over the output: every out element belongs to exactly one tile,
+  // and within a tile the kk reduction runs in full ascending order (with
+  // the same zero-skip), so the accumulation order per element — and
+  // hence the bits — match the serial loop at any thread count. The
+  // column tile bounds the live slice of b to cache size.
+  ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/512,
+                [&](size_t i0, size_t i1, size_t j0, size_t j1) {
+                  for (size_t i = i0; i < i1; ++i) {
+                    const float* arow = a.data() + i * k;
+                    float* orow = out.data() + i * n;
+                    for (size_t kk = 0; kk < k; ++kk) {
+                      const float av = arow[kk];
+                      if (av == 0.0f) continue;
+                      const float* brow = b.data() + kk * n;
+                      for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+                    }
+                  }
+                });
 }
 
 void MatMulTransA(const Tensor& a, const Tensor& b, Tensor& out) {
   GNNDM_CHECK(a.rows() == b.rows());
   out.Resize(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + kk * m;
-    const float* brow = b.data() + kk * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.data() + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  if (k == 0 || m == 0 || n == 0) return;
+  // Same contract as MatMul: tiles own disjoint out elements and kk stays
+  // the outermost loop inside each tile, preserving the serial
+  // accumulation order per element.
+  ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/512,
+                [&](size_t i0, size_t i1, size_t j0, size_t j1) {
+                  for (size_t kk = 0; kk < k; ++kk) {
+                    const float* arow = a.data() + kk * m;
+                    const float* brow = b.data() + kk * n;
+                    for (size_t i = i0; i < i1; ++i) {
+                      const float av = arow[i];
+                      if (av == 0.0f) continue;
+                      float* orow = out.data() + i * n;
+                      for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+                    }
+                  }
+                });
 }
 
 void MatMulTransB(const Tensor& a, const Tensor& b, Tensor& out) {
   GNNDM_CHECK(a.cols() == b.cols());
   out.Resize(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float sum = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      orow[j] = sum;
-    }
-  }
+  if (m == 0 || k == 0 || n == 0) return;
+  // Independent dot products per out element; kk order is fixed inside
+  // each dot, so tiling cannot change a single bit.
+  ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/256,
+                [&](size_t i0, size_t i1, size_t j0, size_t j1) {
+                  for (size_t i = i0; i < i1; ++i) {
+                    const float* arow = a.data() + i * k;
+                    float* orow = out.data() + i * n;
+                    for (size_t j = j0; j < j1; ++j) {
+                      const float* brow = b.data() + j * k;
+                      float sum = 0.0f;
+                      for (size_t kk = 0; kk < k; ++kk) {
+                        sum += arow[kk] * brow[kk];
+                      }
+                      orow[j] = sum;
+                    }
+                  }
+                });
 }
 
 void AddBiasInPlace(Tensor& x, const Tensor& bias) {
   GNNDM_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    float* row = x.data() + i * x.cols();
-    for (size_t j = 0; j < x.cols(); ++j) row[j] += bias.at(0, j);
-  }
+  const size_t cols = x.cols();
+  ParallelFor(x.rows(), std::max<size_t>(1, 8192 / std::max<size_t>(1, cols)),
+              [&](size_t r0, size_t r1) {
+                for (size_t i = r0; i < r1; ++i) {
+                  float* row = x.data() + i * cols;
+                  for (size_t j = 0; j < cols; ++j) row[j] += bias.at(0, j);
+                }
+              });
 }
 
 void SumRows(const Tensor& grad, Tensor& bias_grad) {
   bias_grad.Resize(1, grad.cols());
-  for (size_t i = 0; i < grad.rows(); ++i) {
-    const float* row = grad.data() + i * grad.cols();
-    for (size_t j = 0; j < grad.cols(); ++j) bias_grad.at(0, j) += row[j];
-  }
+  const size_t cols = grad.cols();
+  // Column-sliced so each task owns disjoint accumulators; the reduction
+  // over rows stays ascending per column — serial bits preserved.
+  ParallelFor(cols, /*grain=*/64, [&](size_t c0, size_t c1) {
+    for (size_t i = 0; i < grad.rows(); ++i) {
+      const float* row = grad.data() + i * cols;
+      for (size_t j = c0; j < c1; ++j) bias_grad.at(0, j) += row[j];
+    }
+  });
 }
 
 void ReluInPlace(Tensor& x) {
   float* p = x.data();
-  for (size_t i = 0; i < x.size(); ++i) p[i] = std::max(p[i], 0.0f);
+  ParallelFor(x.size(), /*grain=*/16384, [p](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) p[i] = std::max(p[i], 0.0f);
+  });
 }
 
 void ReluBackwardInPlace(Tensor& grad, const Tensor& activation) {
@@ -81,21 +117,27 @@ void ReluBackwardInPlace(Tensor& grad, const Tensor& activation) {
               grad.cols() == activation.cols());
   float* g = grad.data();
   const float* a = activation.data();
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (a[i] <= 0.0f) g[i] = 0.0f;
-  }
+  ParallelFor(grad.size(), /*grain=*/16384, [g, a](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (a[i] <= 0.0f) g[i] = 0.0f;
+    }
+  });
 }
 
 void Axpy(float alpha, const Tensor& x, Tensor& y) {
   GNNDM_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
   const float* xp = x.data();
   float* yp = y.data();
-  for (size_t i = 0; i < x.size(); ++i) yp[i] += alpha * xp[i];
+  ParallelFor(x.size(), /*grain=*/16384, [alpha, xp, yp](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) yp[i] += alpha * xp[i];
+  });
 }
 
 void ScaleInPlace(Tensor& x, float alpha) {
   float* p = x.data();
-  for (size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
+  ParallelFor(x.size(), /*grain=*/16384, [alpha, p](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) p[i] *= alpha;
+  });
 }
 
 double SoftmaxCrossEntropy(const Tensor& logits,
@@ -106,6 +148,8 @@ double SoftmaxCrossEntropy(const Tensor& logits,
   if (n == 0) return 0.0;
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
+  // The scalar loss reduction over rows defines the bitwise result;
+  // splitting it would reorder the double accumulation. serial-ok.
   for (size_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
     float* grow = grad.data() + i * c;
@@ -126,6 +170,8 @@ double SoftmaxCrossEntropy(const Tensor& logits,
 
 std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
   std::vector<int32_t> out(logits.rows());
+  // Evaluation-only helper: O(rows * cols) compares, memory-bound and
+  // off the training hot path. serial-ok.
   for (size_t i = 0; i < logits.rows(); ++i) {
     const float* row = logits.data() + i * logits.cols();
     size_t best = 0;
@@ -140,6 +186,8 @@ std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
 void XavierInit(Tensor& w, Rng& rng) {
   double s = std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
   float* p = w.data();
+  // serial-ok: draws from a single sequential RNG stream; parallelizing
+  // would change which variate lands where.
   for (size_t i = 0; i < w.size(); ++i) {
     p[i] = static_cast<float>((rng.UniformReal() * 2.0 - 1.0) * s);
   }

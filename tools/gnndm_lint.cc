@@ -15,6 +15,9 @@
 //                         GNNDM_CHECK, which log and honor sanitizer builds
 //   deserialize-validate  .cc files that parse binary input must call a
 //                         Validate() routine on what they decoded
+//   raw-loop-kernel       nested (kernel-shaped) top-level loops in
+//                         src/tensor and src/nn must use ParallelFor or
+//                         carry a `// serial-ok: <reason>` marker
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -113,6 +116,8 @@ void CheckIncludeGuard(const std::string& rel,
 // ThreadPool. Tests may spawn raw threads to provoke races.
 const std::set<std::string> kThreadAllowlist = {
     "src/common/thread_pool.h", "src/common/thread_pool.cc",
+    // hardware_concurrency() only; all shared state is annotated.
+    "src/common/parallel_for.cc",
     "src/core/async_loader.h", "src/core/async_loader.cc",
 };
 
@@ -140,6 +145,55 @@ void CheckConcurrencyPrimitives(const std::string& rel,
              "std::thread outside the audited concurrency surfaces; "
              "use ThreadPool or add the file to the lint allowlist "
              "after annotating its shared state");
+    }
+  }
+}
+
+/// True if `line` is `for` at an indent of at least `min_indent` spaces.
+bool IsForAtIndent(const std::string& line, size_t min_indent) {
+  size_t p = 0;
+  while (p < line.size() && line[p] == ' ') ++p;
+  return p >= min_indent && line.compare(p, 5, "for (") == 0;
+}
+
+/// Hot-kernel loops in src/tensor and src/nn must go through the
+/// ParallelFor work-sharing layer (common/parallel_for.h). The heuristic:
+/// a function-top-level `for` (exactly 2-space indent in this codebase)
+/// that contains a nested loop is a kernel-shaped loop; it must either be
+/// a ParallelFor body (those sit deeper inside a lambda and are never at
+/// indent 2) or carry a `// serial-ok: <reason>` marker on the same line
+/// or the line above. Single-level structural loops (over layers, over
+/// parameters) are exempt.
+void CheckRawLoopKernels(const std::string& rel,
+                         const std::vector<std::string>& lines) {
+  if (!StartsWith(rel, "src/tensor/") && !StartsWith(rel, "src/nn/")) {
+    return;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("  for (", 0) != 0 || lines[i][2] != 'f') continue;
+    // Walk the loop body by brace depth; a one-line `for (...) stmt;`
+    // has no braces and cannot nest.
+    long depth = 0;
+    bool nested = false;
+    for (size_t j = i; j < lines.size(); ++j) {
+      const std::string code = StripLineComment(lines[j]);
+      if (j > i && IsForAtIndent(code, 4)) nested = true;
+      for (char c : code) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (j > i && depth <= 0) break;
+      if (j == i && depth == 0) break;  // braceless one-liner
+    }
+    if (!nested) continue;
+    const bool marked =
+        lines[i].find("serial-ok") != std::string::npos ||
+        (i > 0 && lines[i - 1].find("serial-ok") != std::string::npos);
+    if (!marked) {
+      Report(rel, i + 1, "raw-loop-kernel",
+             "nested loop in a tensor/nn kernel bypasses ParallelFor "
+             "(common/parallel_for.h); parallelize it or mark it "
+             "'// serial-ok: <reason>'");
     }
   }
 }
@@ -191,6 +245,7 @@ void LintFile(const fs::path& path, const fs::path& root) {
   if (is_source) {
     CheckAssert(rel, lines);
     CheckDeserializationValidates(rel, contents);
+    CheckRawLoopKernels(rel, lines);
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel_for.h"
 #include "core/full_batch.h"
 #include "core/trainer.h"
 #include "dist/dist_trainer.h"
@@ -107,8 +108,17 @@ int Main(int argc, char** argv) {
         "  --save=FILE.gnck  --load=FILE.gnck\n"
         "  --workers=N  --partitioner=hash|metis-v|metis-ve|metis-vet|"
         "stream-v|stream-b|edge-hash\n"
-        "  --full_batch  --epochs=N  --seed=N\n");
+        "  --full_batch  --epochs=N  --seed=N\n"
+        "  --threads=N   compute threads for the parallel kernels\n"
+        "                (0 = GNNDM_THREADS env or hardware default;\n"
+        "                 results are byte-identical at any value)\n");
     return 0;
+  }
+
+  // Apply kernel threading before any compute (full-batch construction
+  // gathers features in its constructor).
+  if (flags.Has("threads")) {
+    SetComputeThreads(static_cast<size_t>(flags.GetInt("threads", 0)));
   }
 
   // --- Dataset ---
@@ -146,6 +156,7 @@ int Main(int argc, char** argv) {
   config.cache_ratio = flags.GetDouble("cache_ratio", 0.0);
   config.async_batch_loading = flags.GetBool("async", false);
   config.p3_feature_parallel = flags.GetBool("p3", false);
+  config.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   if (config.hops.size() != config.num_conv_layers &&
       config.model != "mlp") {
