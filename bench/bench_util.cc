@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 #include "core/convergence.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
@@ -24,6 +26,26 @@ void Emit(const Table& table, const Flags& flags,
       GNNDM_LOG(Warning) << "csv write failed: " << s.ToString();
     } else {
       std::printf("[csv written to %s]\n", path.c_str());
+    }
+    // Figure JSON: the table plus the metrics snapshot accumulated while
+    // producing it (cache-hit rates, queue depths, ...), so the artifact
+    // explains the headline numbers on its own.
+    const std::string json = "{\"table\": " + table.ToJson() +
+                             ", \"metrics\": " +
+                             telemetry::MetricsRegistry::Get().ToJson() + "}";
+    Status lint = telemetry::JsonLint(json);
+    if (!lint.ok()) {
+      GNNDM_LOG(Warning) << "bench json malformed: " << lint.ToString();
+      return;
+    }
+    const std::string json_path =
+        flags.GetString("csv_dir", ".") + "/BENCH_" + file_stem + ".json";
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json;
+    if (!out.good()) {
+      GNNDM_LOG(Warning) << "json write failed: " << json_path;
+    } else {
+      std::printf("[json written to %s]\n", json_path.c_str());
     }
   }
 }

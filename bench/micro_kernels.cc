@@ -26,6 +26,7 @@
 #include "common/parallel_for.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "graph/dataset.h"
 #include "nn/aggregate.h"
@@ -293,7 +294,10 @@ int Run(int argc, char** argv) {
       }
       std::fprintf(f, "]}%s\n", i + 1 < reports.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // Metrics snapshot rides along (parallel.loops, pool.tasks, shard
+    // imbalance quantiles) so regressions can be traced to scheduling.
+    std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+                 telemetry::MetricsRegistry::Get().ToJson().c_str());
     std::fclose(f);
     std::printf("[json written to %s]\n", json_path.c_str());
   }

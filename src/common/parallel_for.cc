@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "common/annotations.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace gnndm {
 
@@ -73,6 +75,9 @@ void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
   size_t threads = 0;
   std::shared_ptr<ThreadPool> pool = AcquirePool(threads);
   if (pool == nullptr || num_chunks <= 1 || tls_in_parallel_region) {
+    if (telemetry::Enabled()) {
+      telemetry::GetCounter("parallel.serial_loops").Increment();
+    }
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
@@ -81,9 +86,22 @@ void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
   const size_t helpers = std::min(pool->num_threads(), num_chunks - 1);
   RunState state(helpers);
 
-  auto drain = [&next, &fn, num_chunks, &state] {
+  // Shard-imbalance probe: per-executor drain durations feed a ratio of
+  // slowest executor to mean (1.0 = perfectly balanced). Observation only;
+  // chunk claiming is unaffected.
+  const bool sample_imbalance = telemetry::Enabled();
+  telemetry::AtomicDouble drain_sum;
+  telemetry::AtomicDouble drain_max;
+  if (sample_imbalance) {
+    telemetry::GetCounter("parallel.loops").Increment();
+    telemetry::GetCounter("parallel.chunks").Add(num_chunks);
+  }
+
+  auto drain = [&next, &fn, num_chunks, &state, sample_imbalance, &drain_sum,
+                &drain_max] {
     const bool saved = tls_in_parallel_region;
     tls_in_parallel_region = true;
+    WallTimer drain_timer;
     for (;;) {
       const size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
@@ -96,6 +114,11 @@ void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
         // already lost, finishing it would only delay the rethrow.
         next.store(num_chunks, std::memory_order_relaxed);
       }
+    }
+    if (sample_imbalance) {
+      const double seconds = drain_timer.Seconds();
+      drain_sum.Add(seconds);
+      drain_max.Max(seconds);
     }
     tls_in_parallel_region = saved;
   };
@@ -114,6 +137,15 @@ void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
     MutexLock lock(state.mu);
     while (state.pending != 0) state.done_cv.Wait(state.mu);
     error = state.error;
+  }
+  if (sample_imbalance) {
+    const double executors = static_cast<double>(helpers + 1);
+    const double mean = drain_sum.Value() / executors;
+    if (mean > 0.0) {
+      telemetry::GetHistogram("parallel.imbalance",
+                              telemetry::LinearBuckets(1.0, 0.25, 13))
+          .Observe(drain_max.Value() / mean);
+    }
   }
   if (error) std::rethrow_exception(error);
 }

@@ -72,6 +72,43 @@ std::string Table::ToCsv() const {
   return out.str();
 }
 
+std::string Table::ToJson() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  };
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& row) {
+    out << "[";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "\"" << escape(row[i]) << "\"";
+    }
+    out << "]";
+  };
+  std::ostringstream out;
+  out << "{\"title\": \"" << escape(title_) << "\", \"header\": ";
+  emit_row(out, header_);
+  out << ", \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ", ";
+    emit_row(out, rows_[r]);
+  }
+  out << "]}";
+  return out.str();
+}
+
 Status Table::WriteCsv(const std::string& path) const {
   std::ofstream file(path);
   if (!file) {

@@ -32,6 +32,10 @@ class Table {
   /// numeric content; commas in cells are replaced with ';').
   std::string ToCsv() const;
 
+  /// Renders a JSON object {"title", "header", "rows"} with all cells as
+  /// strings — the table fragment bench binaries embed in BENCH_*.json.
+  std::string ToJson() const;
+
   /// Writes ToCsv() to `path`, creating parent directories is NOT attempted.
   [[nodiscard]] Status WriteCsv(const std::string& path) const;
 

@@ -1,0 +1,645 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gnndm {
+namespace telemetry {
+
+namespace {
+
+#if !defined(GNNDM_TELEMETRY_DISABLED)
+std::atomic<bool> g_enabled{true};
+#endif
+
+/// Round-robin per-thread shard assignment: the first call from a thread
+/// claims the next slot, so up to kShards concurrent threads never share a
+/// counter cache line.
+uint32_t ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (JSON has no inf/nan tokens).
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+#if !defined(GNNDM_TELEMETRY_DISABLED)
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+#endif
+
+// --- AtomicDouble ----------------------------------------------------------
+
+void AtomicDouble::Add(double v) {
+  uint64_t expected = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t desired =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + v);
+    if (bits_.compare_exchange_weak(expected, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDouble::Max(double v) {
+  uint64_t expected = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (std::bit_cast<double>(expected) >= v) return;
+    if (bits_.compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double AtomicDouble::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// --- Counter / Gauge -------------------------------------------------------
+
+void Counter::Add(uint64_t n) {
+  if (!Enabled()) return;
+  shards_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Set(int64_t v) {
+  if (!Enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::Add(int64_t delta) {
+  if (!Enabled()) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  GNNDM_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    GNNDM_CHECK(bounds_[i] > bounds_[i - 1])
+        << "histogram bounds must be strictly ascending";
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  // Bucket i counts v <= bounds[i]: first bound >= v, overflow past the end.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(v);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  GNNDM_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  // Rank of the target sample, 1-based; walk buckets until reached.
+  const double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.Reset();
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> bounds(count);
+  for (size_t i = 0; i < count; ++i) bounds[i] = start + width * i;
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i, v *= factor) bounds[i] = v;
+  return bounds;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: lives
+  return *registry;  // for the process so handles never dangle at exit
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(c->Value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(g->Value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h->Count()) + ", \"sum\": " + JsonNum(h->Sum()) +
+           ", \"p50\": " + JsonNum(h->Quantile(0.5)) +
+           ", \"p90\": " + JsonNum(h->Quantile(0.9)) +
+           ", \"p99\": " + JsonNum(h->Quantile(0.99)) + ", \"bounds\": [";
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNum(h->bounds()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h->BucketCount(i));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Table MetricsRegistry::ToTable(bool skip_zero) const {
+  MutexLock lock(mu_);
+  Table table("telemetry metrics");
+  table.SetHeader({"metric", "type", "value", "p50", "p90", "p99"});
+  for (const auto& [name, c] : counters_) {
+    const uint64_t v = c->Value();
+    if (skip_zero && v == 0) continue;
+    table.AddRow({name, "counter", std::to_string(v), "", "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    const int64_t v = g->Value();
+    if (skip_zero && v == 0) continue;
+    table.AddRow({name, "gauge", std::to_string(v), "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (skip_zero && h->Count() == 0) continue;
+    table.AddRow({name, "histogram", std::to_string(h->Count()),
+                  Table::Num(h->Quantile(0.5), 4),
+                  Table::Num(h->Quantile(0.9), 4),
+                  Table::Num(h->Quantile(0.99), 4)});
+  }
+  return table;
+}
+
+Counter& GetCounter(const std::string& name) {
+  return MetricsRegistry::Get().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return MetricsRegistry::Get().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+  return MetricsRegistry::Get().GetHistogram(name, std::move(bounds));
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked for process lifetime
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    MutexLock lock(mu_);
+    owned->track = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+    cached = buffers_.back().get();
+  }
+  return *cached;
+}
+
+void Tracer::Start() {
+  {
+    MutexLock lock(mu_);
+    for (auto& buffer : buffers_) {
+      MutexLock events_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  t0_ns_.store(SteadyNowNs(), std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { active_.store(false, std::memory_order_release); }
+
+double Tracer::WallNow() const {
+  const int64_t t0 = t0_ns_.load(std::memory_order_acquire);
+  if (t0 == 0) return 0.0;
+  return static_cast<double>(SteadyNowNs() - t0) * 1e-9;
+}
+
+void Tracer::AddWallSpan(const char* name, double begin_s, double dur_s,
+                         int64_t batch) {
+  if (!Enabled() || !active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  MutexLock lock(buffer.mu);
+  buffer.events.push_back(
+      {name, ClockDomain::kWall, begin_s, dur_s, buffer.track, batch});
+}
+
+void Tracer::AddVirtualSpan(const char* name, double begin_s, double dur_s,
+                            uint32_t lane, int64_t batch) {
+  if (!Enabled() || !active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  MutexLock lock(buffer.mu);
+  buffer.events.push_back(
+      {name, ClockDomain::kVirtual, begin_s, dur_s, lane, batch});
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  MutexLock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    MutexLock events_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+double Tracer::SpanSeconds(const std::string& name,
+                           ClockDomain domain) const {
+  double total = 0.0;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.domain == domain && e.name == name) total += e.dur;
+  }
+  return total;
+}
+
+uint64_t Tracer::SpanCount(const std::string& name,
+                           ClockDomain domain) const {
+  uint64_t count = 0;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.domain == domain && e.name == name) ++count;
+  }
+  return count;
+}
+
+std::string Tracer::ToChromeJson() const {
+  // Wall spans live in trace process 1 (one tid per recording thread),
+  // virtual spans in process 2 (one tid per pipeline resource lane), so
+  // Perfetto renders the two time domains as separate track groups.
+  std::string out = "{\"traceEvents\": [\n";
+  out +=
+      "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+      "\"process_name\", \"args\": {\"name\": \"wall clock (cpu)\"}},\n";
+  out +=
+      "  {\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+      "\"process_name\", \"args\": {\"name\": \"virtual clock (simulated "
+      "device/pipeline)\"}},\n";
+  const char* lane_names[] = {"BP (cpu sampler)", "DT (pcie extract+load)",
+                              "NN (gpu compute)", "DIST (sync rounds)"};
+  for (uint32_t lane = 0; lane < 4; ++lane) {
+    out += "  {\"ph\": \"M\", \"pid\": 2, \"tid\": " + std::to_string(lane) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           std::string(lane_names[lane]) + "\"}},\n";
+  }
+  const std::vector<TraceEvent> events = Snapshot();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const bool wall = e.domain == ClockDomain::kWall;
+    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+           (wall ? "wall" : "virtual") + "\", \"ph\": \"X\", \"ts\": " +
+           JsonNum(e.ts * 1e6) + ", \"dur\": " + JsonNum(e.dur * 1e6) +
+           ", \"pid\": " + (wall ? "1" : "2") +
+           ", \"tid\": " + std::to_string(e.track);
+    if (e.batch >= 0) {
+      out += ", \"args\": {\"batch\": " + std::to_string(e.batch) + "}";
+    }
+    out += i + 1 < events.size() ? "},\n" : "}\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  GNNDM_RETURN_IF_ERROR(JsonLint(json));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open trace file " + path);
+  }
+  out << json;
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+// --- JsonLint --------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent RFC 8259 syntax checker (no schema, no value
+/// materialization). Depth-limited so hostile input cannot blow the stack.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  Status Check() {
+    GNNDM_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (p_ != end_) return Fail("trailing characters after JSON value");
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(offset_));
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Literal(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w) {
+      if (p_ == end_ || *p_ != *w) return Fail("bad literal");
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Status String() {
+    if (!Consume('"')) return Fail("expected string");
+    while (p_ != end_ && *p_ != '"') {
+      if (static_cast<unsigned char>(*p_) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (*p_ == '\\') {
+        Advance();
+        if (p_ == end_) return Fail("truncated escape");
+        const char esc = *p_;
+        if (esc == 'u') {
+          Advance();
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              return Fail("bad \\u escape");
+            }
+            Advance();
+          }
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      Advance();
+    }
+    if (!Consume('"')) return Fail("unterminated string");
+    return Status::Ok();
+  }
+
+  Status Number() {
+    Consume('-');
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return Fail("expected digit");
+    }
+    if (*p_ == '0') {
+      Advance();
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (Consume('.')) {
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("expected fraction digits");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      Advance();
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) Advance();
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("expected exponent digits");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        Advance();
+        SkipWs();
+        if (Consume('}')) return Status::Ok();
+        for (;;) {
+          SkipWs();
+          GNNDM_RETURN_IF_ERROR(String());
+          SkipWs();
+          if (!Consume(':')) return Fail("expected ':'");
+          GNNDM_RETURN_IF_ERROR(Value(depth + 1));
+          SkipWs();
+          if (Consume(',')) continue;
+          if (Consume('}')) return Status::Ok();
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        Advance();
+        SkipWs();
+        if (Consume(']')) return Status::Ok();
+        for (;;) {
+          GNNDM_RETURN_IF_ERROR(Value(depth + 1));
+          SkipWs();
+          if (Consume(',')) continue;
+          if (Consume(']')) return Status::Ok();
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+Status JsonLint(const std::string& text) {
+  return JsonChecker(text).Check();
+}
+
+}  // namespace telemetry
+}  // namespace gnndm

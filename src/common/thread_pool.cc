@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace gnndm {
 
@@ -25,6 +26,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (telemetry::Enabled()) telemetry::GetCounter("pool.tasks").Increment();
   {
     MutexLock lock(mu_);
     GNNDM_CHECK(!stop_) << "ThreadPool::Submit after shutdown began";

@@ -3,9 +3,22 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {
+
+namespace {
+
+/// Wait-time buckets: 1us .. ~1s, geometric. Waits below the first bound
+/// are uncontended condvar passes; the tail shows real stalls.
+telemetry::Histogram& WaitHistogram(const std::string& name) {
+  return telemetry::GetHistogram(name,
+                                 telemetry::ExponentialBuckets(1e-6, 4, 11));
+}
+
+}  // namespace
 
 AsyncBatchLoader::AsyncBatchLoader(const CsrGraph& graph,
                                    const FeatureMatrix& features,
@@ -38,15 +51,32 @@ void AsyncBatchLoader::ProducerLoop() {
     // Per-batch derived seed: the output stream does not depend on the
     // consumer's pace or the queue depth.
     Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
-    prepared.subgraph = sampler_.Sample(graph_, prepared.seeds, rng);
-    GNNDM_DCHECK_OK(prepared.subgraph.Validate(graph_.num_vertices()));
-    TransferEngine::Gather(prepared.subgraph.input_vertices(), features_,
-                           prepared.input);
     {
+      TRACE_SPAN("loader.sample", i);
+      prepared.subgraph = sampler_.Sample(graph_, prepared.seeds, rng);
+    }
+    GNNDM_DCHECK_OK(prepared.subgraph.Validate(graph_.num_vertices()));
+    {
+      TRACE_SPAN("loader.gather", i);
+      TransferEngine::Gather(prepared.subgraph.input_vertices(), features_,
+                             prepared.input);
+    }
+    {
+      // timer-ok: measures condvar wait, not a pipeline stage.
+      WallTimer wait_timer;
       MutexLock lock(mu_);
       while (!stop_ && queue_.size() >= queue_depth_) not_full_.Wait(mu_);
+      if (telemetry::Enabled()) {
+        WaitHistogram("loader.producer_wait_seconds")
+            .Observe(wait_timer.Seconds());
+      }
       if (stop_) return;
       queue_.push_back(std::move(prepared));
+      telemetry::GetHistogram("loader.queue_depth",
+                              telemetry::LinearBuckets(0, 1, 17))
+          .Observe(static_cast<double>(queue_.size()));
+      telemetry::GetGauge("loader.queue_depth_last")
+          .Set(static_cast<int64_t>(queue_.size()));
     }
     not_empty_.NotifyOne();
   }
@@ -60,11 +90,18 @@ void AsyncBatchLoader::ProducerLoop() {
 std::optional<PreparedBatch> AsyncBatchLoader::Next() {
   std::optional<PreparedBatch> batch;
   {
+    // timer-ok: measures condvar wait, not a pipeline stage.
+    WallTimer wait_timer;
     MutexLock lock(mu_);
     while (!stop_ && !done_ && queue_.empty()) not_empty_.Wait(mu_);
+    if (telemetry::Enabled()) {
+      WaitHistogram("loader.consumer_wait_seconds")
+          .Observe(wait_timer.Seconds());
+    }
     if (queue_.empty()) return std::nullopt;  // done or stopping
     batch = std::move(queue_.front());
     queue_.pop_front();
+    telemetry::GetCounter("loader.batches").Increment();
   }
   not_full_.NotifyOne();
   return batch;

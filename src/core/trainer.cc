@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 #include "core/async_loader.h"
 #include "core/costs.h"
 #include "graph/stats.h"
@@ -88,6 +89,7 @@ StageTimes Trainer::RunBatch(const std::vector<VertexId>& batch,
   if (model_->num_hops() == 0) {
     sg.node_ids.push_back(batch);
   } else {
+    TRACE_SPAN("trainer.sample");
     sg = sampler_.Sample(dataset_.graph, batch, rng_);
   }
   Tensor input;
@@ -107,15 +109,20 @@ StageTimes Trainer::RunPreparedBatch(const std::vector<VertexId>& batch,
   // --- Data transferring: move input feature rows host -> device. ---
   const FeatureCache* cache = has_cache_ ? &cache_ : nullptr;
   TransferStats transfer;
-  if (input_ready) {
-    // Rows were staged by the async loader; only account the cost.
-    transfer = transfer_->Cost(sg.input_vertices(), dataset_.features,
-                               cache);
-  } else {
-    transfer = transfer_->Transfer(sg.input_vertices(), dataset_.features,
-                                   cache, input);
+  {
+    TRACE_SPAN("trainer.transfer");
+    if (input_ready) {
+      // Rows were staged by the async loader; only account the cost.
+      transfer = transfer_->Cost(sg.input_vertices(), dataset_.features,
+                                 cache);
+    } else {
+      transfer = transfer_->Transfer(sg.input_vertices(), dataset_.features,
+                                     cache, input);
+    }
   }
   times.data_transfer = transfer.TotalSeconds();
+  times.extract = transfer.extract_seconds;
+  times.load = transfer.transfer_seconds;
   stats.extract_seconds += transfer.extract_seconds;
   stats.load_seconds += transfer.transfer_seconds;
   stats.bytes_transferred += transfer.bytes_moved;
@@ -123,6 +130,7 @@ StageTimes Trainer::RunPreparedBatch(const std::vector<VertexId>& batch,
   stats.rows_requested += transfer.rows_requested;
 
   // --- NN computation: real forward/backward, virtual GPU time. ---
+  TRACE_SPAN("trainer.nn");
   const Tensor& logits = model_->Forward(sg, input, /*train=*/true);
   std::vector<int32_t> labels(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -141,6 +149,7 @@ StageTimes Trainer::RunPreparedBatch(const std::vector<VertexId>& batch,
 }
 
 EpochStats Trainer::TrainEpoch() {
+  TRACE_SPAN("trainer.epoch");
   EpochStats stats;
   stats.epoch = epoch_;
   stats.batch_size = schedule_->BatchSizeForEpoch(epoch_);
@@ -168,6 +177,28 @@ EpochStats Trainer::TrainEpoch() {
   stats.epoch_seconds = pipeline.total_seconds;
   stats.batch_prep_seconds = pipeline.bp_busy;
   stats.nn_seconds = pipeline.nn_busy;
+  // Replay the simulated schedule as virtual-clock spans, offset by the
+  // cumulative clock so consecutive epochs concatenate on the timeline.
+  // Durations are the exact StageTimes doubles accumulated into stats
+  // above, so per-stage span sums reconcile bit-for-bit with EpochStats.
+  if (telemetry::Enabled() && telemetry::Tracer::Get().active()) {
+    telemetry::Tracer& tracer = telemetry::Tracer::Get();
+    const double origin = total_seconds_;
+    for (size_t i = 0; i < stage_times.size(); ++i) {
+      const StageSchedule& slot = pipeline.schedule[i];
+      const StageTimes& t = stage_times[i];
+      const auto b = static_cast<int64_t>(i);
+      tracer.AddVirtualSpan("trainer.bp", origin + slot.bp_begin,
+                            t.batch_prep, telemetry::kLaneBp, b);
+      tracer.AddVirtualSpan("trainer.extract", origin + slot.dt_begin,
+                            t.extract, telemetry::kLaneDt, b);
+      tracer.AddVirtualSpan("trainer.load",
+                            origin + slot.dt_begin + t.extract, t.load,
+                            telemetry::kLaneDt, b);
+      tracer.AddVirtualSpan("trainer.nn", origin + slot.nn_begin,
+                            t.nn_compute, telemetry::kLaneNn, b);
+    }
+  }
   if (!dataset_.split.train.empty()) {
     stats.train_loss /= static_cast<double>(dataset_.split.train.size());
   }

@@ -4,6 +4,7 @@
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "core/costs.h"
 #include "tensor/ops.h"
 
@@ -113,6 +114,11 @@ double DistTrainer::RunWorkerBatch(uint32_t worker,
   }
   ledger.remote_structure_bytes += structure_bytes;
   ledger.remote_feature_bytes += feature_bytes;
+  if (telemetry::Enabled()) {
+    telemetry::GetCounter("dist.structure_bytes").Add(structure_bytes);
+    telemetry::GetCounter("dist.feature_bytes").Add(feature_bytes);
+    telemetry::GetCounter("dist.peer_contacts").Add(peers.size());
+  }
   seconds += network_.Seconds(structure_bytes + feature_bytes, peers.size());
 
   // Host->device transfer of the assembled input block (through the
@@ -203,6 +209,24 @@ DistEpochStats DistTrainer::TrainEpoch() {
     // to be synchronized", §2).
     const double sync_seconds =
         active > 1 ? network_.Seconds(2 * grad_bytes, active) : 0.0;
+    if (telemetry::Enabled()) {
+      telemetry::GetCounter("dist.rounds").Increment();
+      telemetry::GetCounter("dist.sync_bytes").Add(2 * grad_bytes);
+      telemetry::GetHistogram("dist.round_seconds",
+                              telemetry::ExponentialBuckets(1e-4, 4, 10))
+          .Observe(round_max + sync_seconds);
+      telemetry::Tracer& tracer = telemetry::Tracer::Get();
+      if (tracer.active()) {
+        // Rounds concatenate on the DIST lane of the virtual timeline.
+        const double begin = total_seconds_ + stats.epoch_seconds;
+        tracer.AddVirtualSpan("dist.round", begin, round_max,
+                              telemetry::kLaneDist,
+                              static_cast<int64_t>(round));
+        tracer.AddVirtualSpan("dist.sync", begin + round_max, sync_seconds,
+                              telemetry::kLaneDist,
+                              static_cast<int64_t>(round));
+      }
+    }
     stats.epoch_seconds +=
         round_max + sync_seconds;  // barrier: slowest worker gates
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -23,6 +24,7 @@ PartitionResult EdgeHashPartitioner::Partition(const PartitionInput& input,
                                                uint32_t num_parts,
                                                uint64_t seed) const {
   WallTimer timer;
+  TRACE_SPAN("partition.edge_hash");
   const CsrGraph& graph = input.graph;
   const VertexId n = graph.num_vertices();
 

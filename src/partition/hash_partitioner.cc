@@ -1,6 +1,7 @@
 #include "partition/hash_partitioner.h"
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -21,6 +22,7 @@ PartitionResult HashPartitioner::Partition(const PartitionInput& input,
                                            uint32_t num_parts,
                                            uint64_t seed) const {
   WallTimer timer;
+  TRACE_SPAN("partition.hash");
   PartitionResult result;
   result.num_parts = num_parts;
   const VertexId n = input.graph.num_vertices();

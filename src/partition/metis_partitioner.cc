@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -293,35 +294,44 @@ std::vector<uint32_t> MultilevelPartition(
   std::vector<WGraph> levels;
   std::vector<std::vector<uint32_t>> projections;  // fine -> coarse ids
   levels.push_back(FromCsr(graph, vertex_weights, num_constraints));
-  const uint32_t coarsen_target =
-      std::max<uint32_t>(num_parts * options.coarsen_target_per_part, 64);
-  while (levels.back().n > coarsen_target &&
-         static_cast<int>(levels.size()) < options.max_coarsen_levels) {
-    const WGraph& fine = levels.back();
-    std::vector<uint32_t> match = HeavyEdgeMatch(fine, rng);
-    std::vector<uint32_t> coarse_of;
-    WGraph coarse = Coarsen(fine, match, coarse_of);
-    if (coarse.n >= fine.n) break;  // matching stalled
-    projections.push_back(std::move(coarse_of));
-    levels.push_back(std::move(coarse));
+  {
+    TRACE_SPAN("partition.coarsen");
+    const uint32_t coarsen_target =
+        std::max<uint32_t>(num_parts * options.coarsen_target_per_part, 64);
+    while (levels.back().n > coarsen_target &&
+           static_cast<int>(levels.size()) < options.max_coarsen_levels) {
+      const WGraph& fine = levels.back();
+      std::vector<uint32_t> match = HeavyEdgeMatch(fine, rng);
+      std::vector<uint32_t> coarse_of;
+      WGraph coarse = Coarsen(fine, match, coarse_of);
+      if (coarse.n >= fine.n) break;  // matching stalled
+      projections.push_back(std::move(coarse_of));
+      levels.push_back(std::move(coarse));
+    }
   }
 
   // Initial partition on the coarsest level.
-  std::vector<uint32_t> part = InitialPartition(
-      levels.back(), num_parts, options.imbalance, rng);
-  Refine(levels.back(), part, num_parts, options.imbalance,
-         options.refine_passes, rng);
+  std::vector<uint32_t> part;
+  {
+    TRACE_SPAN("partition.init");
+    part = InitialPartition(levels.back(), num_parts, options.imbalance, rng);
+    Refine(levels.back(), part, num_parts, options.imbalance,
+           options.refine_passes, rng);
+  }
 
   // Uncoarsen with refinement at every level.
-  for (size_t level = projections.size(); level-- > 0;) {
-    const std::vector<uint32_t>& coarse_of = projections[level];
-    std::vector<uint32_t> fine_part(coarse_of.size());
-    for (uint32_t v = 0; v < coarse_of.size(); ++v) {
-      fine_part[v] = part[coarse_of[v]];
+  {
+    TRACE_SPAN("partition.refine");
+    for (size_t level = projections.size(); level-- > 0;) {
+      const std::vector<uint32_t>& coarse_of = projections[level];
+      std::vector<uint32_t> fine_part(coarse_of.size());
+      for (uint32_t v = 0; v < coarse_of.size(); ++v) {
+        fine_part[v] = part[coarse_of[v]];
+      }
+      part = std::move(fine_part);
+      Refine(levels[level], part, num_parts, options.imbalance,
+             options.refine_passes, rng);
     }
-    part = std::move(fine_part);
-    Refine(levels[level], part, num_parts, options.imbalance,
-           options.refine_passes, rng);
   }
   return part;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace gnndm {
@@ -39,6 +40,7 @@ PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
                                               uint32_t num_parts,
                                               uint64_t seed) const {
   WallTimer timer;
+  TRACE_SPAN("partition.stream_v");
   const CsrGraph& graph = input.graph;
   const VertexId n = graph.num_vertices();
   Rng rng(seed);
@@ -114,6 +116,7 @@ PartitionResult StreamBPartitioner::Partition(const PartitionInput& input,
                                               uint32_t num_parts,
                                               uint64_t seed) const {
   WallTimer timer;
+  TRACE_SPAN("partition.stream_b");
   const CsrGraph& graph = input.graph;
   const VertexId n = graph.num_vertices();
   Rng rng(seed);

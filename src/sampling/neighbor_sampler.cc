@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace gnndm {
 
@@ -159,6 +160,12 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
     layer.num_src = static_cast<uint32_t>(src_ids.size());
   }
   GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
+  if (telemetry::Enabled()) {
+    telemetry::GetCounter("sampling.subgraphs").Increment();
+    telemetry::GetCounter("sampling.seeds").Add(seeds.size());
+    telemetry::GetCounter("sampling.vertices").Add(sg.TotalVertices());
+    telemetry::GetCounter("sampling.edges").Add(sg.TotalEdges());
+  }
   return sg;
 }
 

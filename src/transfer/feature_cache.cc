@@ -5,10 +5,20 @@
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace gnndm {
 
 namespace {
+
+/// Static caches have no runtime evictions; what matters for analysis is
+/// how many rows the policy pinned (the denominator of cache_ratio).
+void RecordCacheBuild(uint64_t capacity_rows) {
+  if (!telemetry::Enabled()) return;
+  telemetry::GetCounter("cache.builds").Increment();
+  telemetry::GetGauge("cache.capacity_rows")
+      .Set(static_cast<int64_t>(capacity_rows));
+}
 
 /// Marks the `capacity` vertices with the highest `score` as cached.
 std::vector<uint8_t> TopKByScore(const std::vector<uint64_t>& score,
@@ -35,6 +45,7 @@ FeatureCache FeatureCache::DegreeBased(const CsrGraph& graph,
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     score[v] = graph.degree(v);
   }
+  RecordCacheBuild(capacity_rows);
   return FeatureCache("degree", TopKByScore(score, capacity_rows),
                       capacity_rows);
 }
@@ -54,6 +65,7 @@ FeatureCache FeatureCache::PreSampling(
       if (++sampled >= presample_batches) break;
     }
   }
+  RecordCacheBuild(capacity_rows);
   return FeatureCache("presample", TopKByScore(frequency, capacity_rows),
                       capacity_rows);
 }

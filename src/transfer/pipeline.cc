@@ -25,43 +25,61 @@ PipelineResult SimulatePipeline(const std::vector<StageTimes>& batches,
   double cpu_free = 0.0;
   double pcie_free = 0.0;
   double gpu_free = 0.0;
+  result.schedule.reserve(batches.size());
 
   for (const StageTimes& batch : batches) {
     result.bp_busy += batch.batch_prep;
     result.dt_busy += batch.data_transfer;
     result.nn_busy += batch.nn_compute;
 
+    StageSchedule slot;
     switch (mode) {
       case PipelineMode::kNone: {
         // Single logical resource: strict sequence.
         double t = std::max({cpu_free, pcie_free, gpu_free});
-        t += batch.batch_prep;
-        t += batch.data_transfer;
-        t += batch.nn_compute;
+        slot.bp_begin = t;
+        slot.bp_end = t += batch.batch_prep;
+        slot.dt_begin = t;
+        slot.dt_end = t += batch.data_transfer;
+        slot.nn_begin = t;
+        slot.nn_end = t += batch.nn_compute;
         cpu_free = pcie_free = gpu_free = t;
         break;
       }
       case PipelineMode::kOverlapBp: {
         // CPU prepares batches ahead; DT+NN share the device timeline.
+        slot.bp_begin = cpu_free;
         double bp_done = cpu_free + batch.batch_prep;
+        slot.bp_end = bp_done;
         cpu_free = bp_done;
         double device_start = std::max(bp_done, std::max(pcie_free, gpu_free));
+        slot.dt_begin = device_start;
+        slot.dt_end = device_start + batch.data_transfer;
+        slot.nn_begin = slot.dt_end;
         double done = device_start + batch.data_transfer + batch.nn_compute;
+        slot.nn_end = done;
         pcie_free = gpu_free = done;
         break;
       }
       case PipelineMode::kOverlapBpDt: {
         // Full 3-stage pipeline.
+        slot.bp_begin = cpu_free;
         double bp_done = cpu_free + batch.batch_prep;
+        slot.bp_end = bp_done;
         cpu_free = bp_done;
+        slot.dt_begin = std::max(bp_done, pcie_free);
         double dt_done =
             std::max(bp_done, pcie_free) + batch.data_transfer;
+        slot.dt_end = dt_done;
         pcie_free = dt_done;
+        slot.nn_begin = std::max(dt_done, gpu_free);
         double nn_done = std::max(dt_done, gpu_free) + batch.nn_compute;
+        slot.nn_end = nn_done;
         gpu_free = nn_done;
         break;
       }
     }
+    result.schedule.push_back(slot);
   }
   result.total_seconds = std::max({cpu_free, pcie_free, gpu_free});
   return result;

@@ -11,6 +11,11 @@ struct StageTimes {
   double batch_prep = 0.0;     ///< sampling + batch assembly (CPU)
   double data_transfer = 0.0;  ///< extract + PCIe (or UVA reads)
   double nn_compute = 0.0;     ///< forward + backward + update (GPU)
+  /// Optional split of data_transfer (filled by the trainer so telemetry
+  /// can emit extract and load as separate virtual spans that sum exactly
+  /// to the EpochStats accumulators).
+  double extract = 0.0;
+  double load = 0.0;
 };
 
 /// The three pipeline configurations ablated in Fig 14.
@@ -28,6 +33,19 @@ enum class PipelineMode {
 
 const char* PipelineModeName(PipelineMode mode);
 
+/// Per-batch placement on the simulated timeline: when each stage of the
+/// batch ran on its resource. Begin/end are virtual seconds from epoch
+/// start; end - begin always equals the corresponding StageTimes field, so
+/// span sums derived from the schedule reconcile exactly with stage totals.
+struct StageSchedule {
+  double bp_begin = 0.0;
+  double bp_end = 0.0;
+  double dt_begin = 0.0;
+  double dt_end = 0.0;
+  double nn_begin = 0.0;
+  double nn_end = 0.0;
+};
+
 /// Result of simulating an epoch through the pipeline.
 struct PipelineResult {
   double total_seconds = 0.0;
@@ -35,6 +53,9 @@ struct PipelineResult {
   double bp_busy = 0.0;
   double dt_busy = 0.0;
   double nn_busy = 0.0;
+  /// One entry per input batch, in order (telemetry renders these as
+  /// virtual-clock trace spans).
+  std::vector<StageSchedule> schedule;
 
   double BottleneckShare() const {
     double busiest = bp_busy;

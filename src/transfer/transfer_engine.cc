@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 
 namespace gnndm {
 
@@ -40,6 +41,18 @@ uint64_t CountMisses(const std::vector<VertexId>& vertices,
   return misses;
 }
 
+/// One accounting point for every engine's Cost(): request counts, byte
+/// volume, and the cache hit/miss split behind the Fig 15/16 hit rates.
+void RecordTransfer(const TransferStats& stats) {
+  if (!telemetry::Enabled()) return;
+  telemetry::GetCounter("transfer.requests").Increment();
+  telemetry::GetCounter("transfer.bytes").Add(stats.bytes_moved);
+  telemetry::GetCounter("transfer.rows").Add(stats.rows_requested);
+  telemetry::GetCounter("cache.hits").Add(stats.rows_from_cache);
+  telemetry::GetCounter("cache.misses")
+      .Add(stats.rows_requested - stats.rows_from_cache);
+}
+
 }  // namespace
 
 TransferStats ExtractLoadTransfer::Cost(
@@ -54,6 +67,7 @@ TransferStats ExtractLoadTransfer::Cost(
   stats.extract_seconds = device_.ExtractSeconds(misses, row_bytes);
   stats.transfer_seconds =
       misses == 0 ? 0.0 : device_.DmaSeconds(stats.bytes_moved);
+  RecordTransfer(stats);
   return stats;
 }
 
@@ -68,6 +82,7 @@ TransferStats ZeroCopyTransfer::Cost(
   stats.bytes_moved = misses * row_bytes;
   stats.extract_seconds = 0.0;  // no CPU gather: UVA direct access
   stats.transfer_seconds = device_.ZeroCopySeconds(misses, row_bytes);
+  RecordTransfer(stats);
   return stats;
 }
 
@@ -106,6 +121,7 @@ TransferStats HybridTransfer::Cost(const std::vector<VertexId>& vertices,
       stats.bytes_moved += active * row_bytes;
     }
   }
+  RecordTransfer(stats);
   return stats;
 }
 

@@ -18,6 +18,10 @@
 //   raw-loop-kernel       nested (kernel-shaped) top-level loops in
 //                         src/tensor and src/nn must use ParallelFor or
 //                         carry a `// serial-ok: <reason>` marker
+//   raw-timer             direct WallTimer use in src/core, src/transfer,
+//                         src/sampling escapes the telemetry stage
+//                         breakdown; use TRACE_SPAN or mark the line
+//                         `// timer-ok: <reason>`
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -198,6 +202,32 @@ void CheckRawLoopKernels(const std::string& rel,
   }
 }
 
+/// The pipeline-stage directories must not time work outside the span
+/// tracer: a raw WallTimer there produces numbers telemetry (and the
+/// EpochStats reconciliation test) cannot see. Legitimate non-stage
+/// timing (condvar waits, ad-hoc probes) carries `// timer-ok: <reason>`
+/// on the same line or the line above.
+void CheckTimerUse(const std::string& rel,
+                   const std::vector<std::string>& lines) {
+  if (!StartsWith(rel, "src/core/") && !StartsWith(rel, "src/transfer/") &&
+      !StartsWith(rel, "src/sampling/")) {
+    return;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripLineComment(lines[i]);
+    if (!ContainsToken(code, "WallTimer")) continue;
+    const bool marked =
+        lines[i].find("timer-ok") != std::string::npos ||
+        (i > 0 && lines[i - 1].find("timer-ok") != std::string::npos);
+    if (!marked) {
+      Report(rel, i + 1, "raw-timer",
+             "direct WallTimer in a pipeline-stage directory escapes the "
+             "telemetry breakdown; use TRACE_SPAN(\"subsystem.name\") or "
+             "mark the line '// timer-ok: <reason>'");
+    }
+  }
+}
+
 void CheckAssert(const std::string& rel,
                  const std::vector<std::string>& lines) {
   if (StartsWith(rel, "tests/")) return;  // gtest code may use assertions
@@ -246,6 +276,7 @@ void LintFile(const fs::path& path, const fs::path& root) {
     CheckAssert(rel, lines);
     CheckDeserializationValidates(rel, contents);
     CheckRawLoopKernels(rel, lines);
+    CheckTimerUse(rel, lines);
   }
 }
 

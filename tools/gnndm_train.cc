@@ -14,12 +14,14 @@
 //
 //   $ gnndm_train --dataset_file=my.gnndm
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 #include "core/full_batch.h"
 #include "core/trainer.h"
 #include "dist/dist_trainer.h"
@@ -111,9 +113,21 @@ int Main(int argc, char** argv) {
         "  --full_batch  --epochs=N  --seed=N\n"
         "  --threads=N   compute threads for the parallel kernels\n"
         "                (0 = GNNDM_THREADS env or hardware default;\n"
-        "                 results are byte-identical at any value)\n");
+        "                 results are byte-identical at any value)\n"
+        "  --trace-out=FILE.json    Chrome trace (chrome://tracing or\n"
+        "                           ui.perfetto.dev) of all pipeline spans\n"
+        "  --metrics-out=FILE.json  metrics snapshot (counters/histograms)\n"
+        "  --telemetry=0            disable all telemetry (output is\n"
+        "                           byte-identical either way)\n");
     return 0;
   }
+
+  // --- Telemetry. Tracing only observes: training output is
+  // byte-identical with any combination of these flags. ---
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  telemetry::SetEnabled(flags.GetBool("telemetry", true));
+  if (!trace_out.empty()) telemetry::Tracer::Get().Start();
 
   // Apply kernel threading before any compute (full-batch construction
   // gathers features in its constructor).
@@ -248,6 +262,48 @@ int Main(int argc, char** argv) {
       std::printf("checkpoint written to %s\n",
                   flags.GetString("save", "").c_str());
     }
+  }
+
+  // --- Telemetry artifacts (after all training output, so the training
+  // lines above stay diffable against an untraced run). ---
+  if (!trace_out.empty()) {
+    telemetry::Tracer& tracer = telemetry::Tracer::Get();
+    tracer.Stop();
+    using telemetry::ClockDomain;
+    std::printf(
+        "trace stage sums (virtual): bp %.6fs  extract %.6fs  load %.6fs  "
+        "nn %.6fs\n",
+        tracer.SpanSeconds("trainer.bp", ClockDomain::kVirtual),
+        tracer.SpanSeconds("trainer.extract", ClockDomain::kVirtual),
+        tracer.SpanSeconds("trainer.load", ClockDomain::kVirtual),
+        tracer.SpanSeconds("trainer.nn", ClockDomain::kVirtual));
+    Status status = tracer.WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                tracer.Snapshot().size());
+  }
+  if (!metrics_out.empty()) {
+    const std::string json = telemetry::MetricsRegistry::Get().ToJson();
+    Status lint = telemetry::JsonLint(json);
+    if (!lint.ok()) {
+      std::fprintf(stderr, "error: %s\n", lint.ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(metrics_out, std::ios::trunc);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    std::printf(
+        "%s",
+        telemetry::MetricsRegistry::Get().ToTable().ToAscii().c_str());
   }
   return 0;
 }
