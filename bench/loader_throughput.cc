@@ -1,0 +1,244 @@
+// loader_throughput — batch data-plane scaling harness.
+//
+// Drains a full epoch of PreparedBatches out of the pluggable
+// BatchSource at a sweep of producer-worker counts, verifies every
+// delivered stream is byte-identical to the inline (workers=0) baseline
+// — the data plane's determinism contract — and emits BENCH_loader.json
+// so CI can track prepared-batches/sec as the loader evolves.
+//
+//   loader_throughput [--quick] [--dataset=arxiv_s] [--workers=1,2,4,8]
+//                     [--queue_depth=8] [--batch_size=256] [--reps=N]
+//                     [--json=BENCH_loader.json] [--no_json]
+//
+// The config is deliberately sampler-bound (fanout 25,10): producing a
+// batch costs far more than delivering it, so worker scaling is visible.
+// Compute threads are pinned to 1 — producer parallelism is the only
+// parallelism measured. The exit code is nonzero only when a stream
+// differs from the baseline; speedups are reported, not asserted (they
+// depend on the machine's core count).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batch/batch_selector.h"
+#include "common/flags.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
+#include "core/batch_source.h"
+#include "sampling/neighbor_sampler.h"
+#include "bench_util.h"
+
+namespace gnndm {
+namespace {
+
+/// FNV-1a over the delivered stream — indices, seeds, subgraph structure,
+/// gathered feature bytes. Equal digests across configs is the contract.
+struct StreamDigest {
+  uint64_t hash = 14695981039346656037ull;
+  uint64_t bytes = 0;
+  void Mix(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash ^= p[i];
+      hash *= 1099511628211ull;
+    }
+    bytes += n;
+  }
+};
+
+struct DrainResult {
+  double seconds = 0.0;
+  size_t batches = 0;
+  StreamDigest digest;
+};
+
+DrainResult Drain(const Dataset& dataset,
+                  const std::vector<std::vector<VertexId>>& batches,
+                  const NeighborSampler& sampler, size_t workers,
+                  size_t queue_depth) {
+  BatchSourceOptions options;
+  options.workers = workers;
+  options.queue_depth = queue_depth;
+  options.seed = 1234;
+  std::unique_ptr<BatchSource> source = MakeBatchSource(
+      dataset.graph, dataset.features, batches, &sampler, options);
+  DrainResult result;
+  WallTimer timer;
+  while (auto batch = source->Next()) {
+    ++result.batches;
+    result.digest.Mix(&batch->index, sizeof(batch->index));
+    result.digest.Mix(batch->seeds.data(),
+                      batch->seeds.size() * sizeof(VertexId));
+    for (const auto& ids : batch->subgraph.node_ids) {
+      result.digest.Mix(ids.data(), ids.size() * sizeof(VertexId));
+    }
+    for (const auto& layer : batch->subgraph.layers) {
+      result.digest.Mix(layer.offsets.data(),
+                        layer.offsets.size() * sizeof(uint32_t));
+      result.digest.Mix(layer.neighbors.data(),
+                        layer.neighbors.size() * sizeof(uint32_t));
+    }
+    result.digest.Mix(batch->input.data(),
+                      batch->input.size() * sizeof(float));
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<size_t> ParseWorkerList(const std::string& csv) {
+  std::vector<size_t> workers;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    std::string token = csv.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!token.empty()) {
+      workers.push_back(
+          static_cast<size_t>(std::strtoul(token.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return workers;
+}
+
+struct SweepPoint {
+  size_t workers = 0;  ///< 0 = inline baseline
+  double best_seconds = 0.0;
+  double batches_per_sec = 0.0;
+  double speedup = 1.0;  ///< vs the inline baseline
+  bool identical = true;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const int reps =
+      static_cast<int>(flags.GetInt("reps", quick ? 2 : 3));
+  const size_t queue_depth =
+      static_cast<size_t>(flags.GetInt("queue_depth", 8));
+  const auto batch_size =
+      static_cast<uint32_t>(flags.GetInt("batch_size", 256));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_loader.json");
+  std::vector<size_t> worker_list = ParseWorkerList(
+      flags.GetString("workers", quick ? "1,4" : "1,2,4,8"));
+
+  Dataset dataset = bench::LoadOrDie(flags, "arxiv_s");
+  // Sampler-bound: the paper's full fanout (25,10) makes sampling +
+  // gathering dominate, the regime where dataloader workers pay off.
+  NeighborSampler sampler = NeighborSampler::WithFanouts({25, 10});
+  RandomBatchSelector selector;
+  Rng rng(7);
+  std::vector<std::vector<VertexId>> batches =
+      selector.SelectEpoch(dataset.split.train, batch_size, rng);
+
+  SetComputeThreads(1);
+
+  // Inline baseline: its digest is the reference every config must hit.
+  SweepPoint baseline;
+  StreamDigest reference;
+  for (int r = 0; r < reps; ++r) {
+    DrainResult result = Drain(dataset, batches, sampler, 0, queue_depth);
+    if (r == 0) {
+      reference = result.digest;
+      baseline.best_seconds = result.seconds;
+    }
+    baseline.best_seconds = std::min(baseline.best_seconds, result.seconds);
+  }
+  baseline.batches_per_sec =
+      static_cast<double>(batches.size()) / baseline.best_seconds;
+
+  std::vector<SweepPoint> points;
+  bool all_identical = true;
+  for (size_t workers : worker_list) {
+    SweepPoint point;
+    point.workers = workers;
+    for (int r = 0; r < reps; ++r) {
+      DrainResult result =
+          Drain(dataset, batches, sampler, workers, queue_depth);
+      if (r == 0) point.best_seconds = result.seconds;
+      point.best_seconds = std::min(point.best_seconds, result.seconds);
+      if (result.digest.hash != reference.hash ||
+          result.digest.bytes != reference.bytes) {
+        point.identical = false;
+        all_identical = false;
+      }
+    }
+    point.batches_per_sec =
+        static_cast<double>(batches.size()) / point.best_seconds;
+    point.speedup = baseline.best_seconds / point.best_seconds;
+    points.push_back(point);
+  }
+
+  Table table("Loader throughput: prepared batches/sec vs producer "
+              "workers (best-of-" +
+              std::to_string(reps) + ", " + std::to_string(batches.size()) +
+              " batches, fanout 25,10, depth " +
+              std::to_string(queue_depth) + ")");
+  table.SetHeader({"workers", "seconds", "batches/s", "speedup", "same"});
+  table.AddRow({"inline", Table::Num(baseline.best_seconds, 3),
+                Table::Num(baseline.batches_per_sec, 1), "1.00", "yes"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({std::to_string(p.workers),
+                  Table::Num(p.best_seconds, 3),
+                  Table::Num(p.batches_per_sec, 1),
+                  Table::Num(p.speedup, 2), p.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  bench::Emit(table, flags, "loader_throughput");
+
+  if (!flags.GetBool("no_json", false)) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"quick\": %s,\n  \"reps\": %d,\n",
+                 quick ? "true" : "false", reps);
+    std::fprintf(f, "  \"dataset\": \"%s\",\n  \"batches\": %zu,\n",
+                 dataset.name.c_str(), batches.size());
+    std::fprintf(f, "  \"queue_depth\": %zu,\n", queue_depth);
+    std::fprintf(f, "  \"all_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"inline\": {\"seconds\": %.4f, "
+                 "\"batches_per_sec\": %.2f},\n",
+                 baseline.best_seconds, baseline.batches_per_sec);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"seconds\": %.4f, "
+                   "\"batches_per_sec\": %.2f, \"speedup\": %.3f, "
+                   "\"identical\": %s}%s\n",
+                   p.workers, p.best_seconds, p.batches_per_sec, p.speedup,
+                   p.identical ? "true" : "false",
+                   i + 1 < points.size() ? "," : "");
+    }
+    // Metrics snapshot rides along (loader.* counters, wait histograms,
+    // reorder occupancy) so scaling cliffs can be traced to contention.
+    std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+                 telemetry::MetricsRegistry::Get().ToJson().c_str());
+    std::fclose(f);
+    std::printf("[json written to %s]\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: delivered stream differs from inline baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gnndm
+
+int main(int argc, char** argv) { return gnndm::Main(argc, argv); }

@@ -1,0 +1,72 @@
+#include "core/batch_consumer.h"
+
+#include "common/telemetry.h"
+#include "core/costs.h"
+#include "tensor/ops.h"
+
+namespace gnndm {
+
+BatchConsumer::BatchConsumer(const Dataset& dataset,
+                             const DeviceModel& device,
+                             const TransferEngine& transfer, GnnModel& model,
+                             size_t hidden_dim, uint32_t num_conv_layers,
+                             uint32_t num_mlp_layers)
+    : dataset_(dataset),
+      device_(device),
+      transfer_(transfer),
+      model_(model),
+      hidden_dim_(hidden_dim),
+      num_conv_layers_(num_conv_layers),
+      num_mlp_layers_(num_mlp_layers) {}
+
+ConsumeOutcome BatchConsumer::Consume(PreparedBatch& batch,
+                                      const FeatureCache* cache) {
+  ConsumeOutcome out;
+  const SampledSubgraph& sg = batch.subgraph;
+
+  // --- Batch preparation accounting. The MLP/DNN baseline (num_hops ==
+  // 0) trains on independent samples: its "subgraph" is the seed rows. ---
+  out.times.batch_prep = device_.SampleSeconds(
+      model_.num_hops() == 0 ? batch.seeds.size() : sg.TotalEdges());
+  out.involved_vertices = sg.TotalVertices();
+  out.involved_edges = sg.TotalEdges();
+
+  // --- Data transferring: move input feature rows host -> device. ---
+  {
+    TRACE_SPAN("trainer.transfer");
+    if (batch.input_ready) {
+      // Rows were staged by the batch source; only account the cost.
+      out.transfer =
+          transfer_.Cost(sg.input_vertices(), dataset_.features, cache);
+    } else {
+      out.transfer = transfer_.Transfer(sg.input_vertices(),
+                                        dataset_.features, cache,
+                                        batch.input);
+      batch.input_ready = true;
+    }
+  }
+  out.times.data_transfer = out.transfer.TotalSeconds();
+  out.times.extract = out.transfer.extract_seconds;
+  out.times.load = out.transfer.transfer_seconds;
+
+  // --- NN computation: real forward/backward, virtual GPU time. The
+  // optimizer step (and, distributed, the gradient average) is the
+  // caller's. ---
+  TRACE_SPAN("trainer.nn");
+  const Tensor& logits = model_.Forward(sg, batch.input, /*train=*/true);
+  std::vector<int32_t> labels(batch.seeds.size());
+  for (size_t i = 0; i < batch.seeds.size(); ++i) {
+    labels[i] = dataset_.labels[batch.seeds[i]];
+  }
+  Tensor d_logits;
+  const double loss = SoftmaxCrossEntropy(logits, labels, d_logits);
+  model_.Backward(sg, d_logits);
+  out.loss_sum = loss * static_cast<double>(batch.seeds.size());
+  out.times.nn_compute = device_.NnStepSeconds(
+      EstimateGnnFlops(sg, dataset_.features.dim(), hidden_dim_,
+                       dataset_.num_classes, num_mlp_layers_),
+      num_conv_layers_ + num_mlp_layers_);
+  return out;
+}
+
+}  // namespace gnndm

@@ -1,0 +1,67 @@
+#ifndef GNNDM_CORE_BATCH_CONSUMER_H_
+#define GNNDM_CORE_BATCH_CONSUMER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_source.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "transfer/device_model.h"
+#include "transfer/feature_cache.h"
+#include "transfer/pipeline.h"
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+
+/// Everything one consumed batch contributes to the epoch ledgers —
+/// callers fold these into their own stats (EpochStats, WorkerStats)
+/// rather than each re-deriving them.
+struct ConsumeOutcome {
+  StageTimes times;        ///< batch_prep / extract / load / nn, virtual
+  TransferStats transfer;  ///< volumes + cache split for this batch
+  double loss_sum = 0.0;   ///< batch loss * |seeds| (callers normalize)
+  uint64_t involved_vertices = 0;
+  uint64_t involved_edges = 0;
+};
+
+/// The shared tail of the batch pipeline: transfer/cache accounting, NN
+/// forward/backward, and per-stage virtual-time attribution. Exactly one
+/// definition of this math exists — Trainer, DistTrainer, and the bench
+/// binaries all consume PreparedBatches through here, whatever
+/// BatchSource produced them.
+///
+/// The consumer accumulates gradients into the model but never steps the
+/// optimizer: single-worker training steps per batch, synchronous data
+/// parallelism steps at the round barrier — that policy stays with the
+/// callers.
+class BatchConsumer {
+ public:
+  /// References must outlive the consumer. `num_mlp_layers` etc. mirror
+  /// the TrainerConfig fields the stage math needs (kept as scalars so
+  /// dist and single-worker trainers can share one consumer type without
+  /// a config dependency cycle).
+  BatchConsumer(const Dataset& dataset, const DeviceModel& device,
+                const TransferEngine& transfer, GnnModel& model,
+                size_t hidden_dim, uint32_t num_conv_layers,
+                uint32_t num_mlp_layers);
+
+  /// Consumes one prepared batch: transfer accounting (gathering the
+  /// input first if the source did not stage it), forward/backward, and
+  /// stage-time attribution. `cache` may be null; with multiple dist
+  /// workers each passes its own.
+  ConsumeOutcome Consume(PreparedBatch& batch, const FeatureCache* cache);
+
+ private:
+  const Dataset& dataset_;
+  DeviceModel device_;
+  const TransferEngine& transfer_;
+  GnnModel& model_;
+  size_t hidden_dim_;
+  uint32_t num_conv_layers_;
+  uint32_t num_mlp_layers_;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_CORE_BATCH_CONSUMER_H_

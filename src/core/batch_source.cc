@@ -1,0 +1,249 @@
+#include "core/batch_source.h"
+
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
+#include "transfer/transfer_engine.h"
+
+namespace gnndm {
+
+namespace {
+
+/// Wait-time buckets: 1us .. ~1s, geometric. Waits below the first bound
+/// are uncontended condvar passes; the tail shows real stalls.
+telemetry::Histogram& WaitHistogram(const std::string& name) {
+  return telemetry::GetHistogram(name,
+                                 telemetry::ExponentialBuckets(1e-6, 4, 11));
+}
+
+/// The one definition of batch production, shared by every source: sample
+/// batch `index` with its derived RNG stream, then gather its feature
+/// rows. Safe to call concurrently (const sampler, per-thread scratch).
+PreparedBatch ProduceBatch(const CsrGraph& graph,
+                           const FeatureMatrix& features,
+                           const NeighborSampler* sampler, uint64_t seed,
+                           uint32_t index, std::vector<VertexId> seeds) {
+  PreparedBatch prepared;
+  prepared.index = index;
+  prepared.seeds = std::move(seeds);
+  if (sampler != nullptr) {
+    Rng rng(BatchRngSeed(seed, index));
+    {
+      TRACE_SPAN("loader.sample", index);
+      prepared.subgraph = sampler->Sample(graph, prepared.seeds, rng);
+    }
+    GNNDM_DCHECK_OK(prepared.subgraph.Validate(graph.num_vertices()));
+  } else {
+    // MLP/DNN baseline: independent samples, no neighborhood — the batch
+    // is just the seed rows (the Fig 2 contrast).
+    prepared.subgraph.node_ids.push_back(prepared.seeds);
+  }
+  {
+    TRACE_SPAN("loader.gather", index);
+    TransferEngine::Gather(prepared.subgraph.input_vertices(), features,
+                           prepared.input);
+  }
+  prepared.input_ready = true;
+  return prepared;
+}
+
+}  // namespace
+
+// --- InlineBatchSource --------------------------------------------------
+
+InlineBatchSource::InlineBatchSource(
+    const CsrGraph& graph, const FeatureMatrix& features,
+    std::vector<std::vector<VertexId>> batches,
+    const NeighborSampler* sampler, uint64_t seed)
+    : graph_(graph),
+      features_(features),
+      batches_(std::move(batches)),
+      sampler_(sampler),
+      seed_(seed) {}
+
+std::optional<PreparedBatch> InlineBatchSource::Next() {
+  if (next_ >= batches_.size()) return std::nullopt;
+  const uint32_t i = next_++;
+  PreparedBatch batch = ProduceBatch(graph_, features_, sampler_, seed_, i,
+                                     std::move(batches_[i]));
+  if (telemetry::Enabled()) {
+    telemetry::GetCounter("loader.batches").Increment();
+  }
+  return batch;
+}
+
+// --- AsyncBatchSource ---------------------------------------------------
+
+AsyncBatchSource::AsyncBatchSource(
+    const CsrGraph& graph, const FeatureMatrix& features,
+    std::vector<std::vector<VertexId>> batches,
+    const NeighborSampler* sampler, uint64_t seed, size_t queue_depth,
+    size_t workers)
+    : graph_(graph),
+      features_(features),
+      batches_(std::move(batches)),
+      sampler_(sampler),
+      seed_(seed),
+      queue_depth_(queue_depth == 0 ? 1 : queue_depth) {
+  reorder_.resize(queue_depth_);
+  const size_t n = workers == 0 ? 1 : workers;
+  workers_.reserve(n);
+  for (size_t w = 0; w < n; ++w) {
+    workers_.emplace_back(
+        [this, w] { WorkerLoop(static_cast<uint32_t>(w)); });
+  }
+}
+
+AsyncBatchSource::~AsyncBatchSource() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  window_open_.NotifyAll();
+  batch_ready_.NotifyAll();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t AsyncBatchSource::buffered() {
+  MutexLock lock(mu_);
+  return buffered_;
+}
+
+void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
+  // Per-worker instrument names are built once; the hot loop only bumps
+  // pre-resolved counters.
+  telemetry::Counter& produced = telemetry::GetCounter(
+      "loader.worker" + std::to_string(worker_id) + ".produced");
+  for (;;) {
+    uint32_t i = 0;
+    {
+      MutexLock lock(mu_);
+      if (stop_ || next_claim_ >= batches_.size()) return;
+      i = next_claim_++;
+    }
+    PreparedBatch prepared;
+    {
+      TRACE_SPAN("loader.produce", static_cast<int64_t>(worker_id));
+      prepared = ProduceBatch(graph_, features_, sampler_, seed_, i,
+                              std::move(batches_[i]));
+    }
+    {
+      // timer-ok: measures condvar wait, not a pipeline stage.
+      WallTimer wait_timer;
+      MutexLock lock(mu_);
+      bool waited = false;
+      while (!stop_ && i >= next_deliver_ + queue_depth_) {
+        waited = true;
+        window_open_.Wait(mu_);
+      }
+      if (telemetry::Enabled()) {
+        WaitHistogram("loader.producer_wait_seconds")
+            .Observe(wait_timer.Seconds());
+        if (waited) {
+          telemetry::GetCounter("loader.worker_window_waits").Increment();
+        }
+      }
+      if (stop_) return;
+      reorder_[i % queue_depth_] = std::move(prepared);
+      ++buffered_;
+      if (telemetry::Enabled()) {
+        produced.Increment();
+        telemetry::GetGauge("loader.reorder_occupancy")
+            .Set(static_cast<int64_t>(buffered_));
+      }
+    }
+    // The consumer only proceeds once slot next_deliver fills; a later
+    // index waking it is a spurious pass absorbed by its wait loop.
+    batch_ready_.NotifyAll();
+  }
+}
+
+std::optional<PreparedBatch> AsyncBatchSource::Next() {
+  std::optional<PreparedBatch> batch;
+  {
+    // timer-ok: measures condvar wait, not a pipeline stage.
+    WallTimer wait_timer;
+    MutexLock lock(mu_);
+    const size_t slot = next_deliver_ % queue_depth_;
+    while (!stop_ && next_deliver_ < batches_.size() &&
+           !reorder_[slot].has_value()) {
+      batch_ready_.Wait(mu_);
+    }
+    if (telemetry::Enabled()) {
+      WaitHistogram("loader.consumer_wait_seconds")
+          .Observe(wait_timer.Seconds());
+    }
+    if (stop_ || next_deliver_ >= batches_.size()) return std::nullopt;
+    batch = std::move(reorder_[slot]);
+    reorder_[slot].reset();
+    --buffered_;
+    ++next_deliver_;
+    if (telemetry::Enabled()) {
+      telemetry::GetCounter("loader.batches").Increment();
+      telemetry::GetGauge("loader.reorder_occupancy")
+          .Set(static_cast<int64_t>(buffered_));
+    }
+  }
+  // Delivery opened the window by one index; several producers may have
+  // been parked on it.
+  window_open_.NotifyAll();
+  return batch;
+}
+
+// --- FullBatchSource ----------------------------------------------------
+
+FullBatchSource::FullBatchSource(const CsrGraph& graph,
+                                 const FeatureMatrix& features,
+                                 uint32_t num_layers) {
+  GNNDM_CHECK(num_layers >= 1);
+  // Every level is the identity vertex list, every layer the full
+  // adjacency in local (= global) ids.
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0u);
+  SampleLayer full_layer;
+  full_layer.num_src = n;
+  full_layer.num_dst = n;
+  full_layer.offsets.reserve(n + 1);
+  full_layer.offsets.push_back(0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      full_layer.neighbors.push_back(u);
+    }
+    full_layer.offsets.push_back(
+        static_cast<uint32_t>(full_layer.neighbors.size()));
+  }
+  batch_.index = 0;
+  batch_.seeds = all;
+  batch_.subgraph.node_ids.assign(num_layers + 1, all);
+  batch_.subgraph.layers.assign(num_layers, full_layer);
+  TransferEngine::Gather(all, features, batch_.input);
+  batch_.input_ready = true;
+}
+
+std::optional<PreparedBatch> FullBatchSource::Next() {
+  if (delivered_) return std::nullopt;
+  delivered_ = true;
+  return std::move(batch_);
+}
+
+// --- Factory ------------------------------------------------------------
+
+std::unique_ptr<BatchSource> MakeBatchSource(
+    const CsrGraph& graph, const FeatureMatrix& features,
+    std::vector<std::vector<VertexId>> batches,
+    const NeighborSampler* sampler, const BatchSourceOptions& options) {
+  if (options.workers == 0) {
+    return std::make_unique<InlineBatchSource>(
+        graph, features, std::move(batches), sampler, options.seed);
+  }
+  return std::make_unique<AsyncBatchSource>(
+      graph, features, std::move(batches), sampler, options.seed,
+      options.queue_depth, options.workers);
+}
+
+}  // namespace gnndm

@@ -1,11 +1,9 @@
 #include "core/full_batch.h"
 
-#include <numeric>
-
 #include "common/logging.h"
+#include "core/batch_source.h"
 #include "core/costs.h"
 #include "tensor/ops.h"
-#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 
@@ -26,29 +24,16 @@ FullBatchTrainer::FullBatchTrainer(const Dataset& dataset,
       model_->Parameters(), config.learning_rate, /*beta1=*/0.9f,
       /*beta2=*/0.999f, /*epsilon=*/1e-8f, config.weight_decay);
 
-  // Build the full-graph "subgraph": every level is the identity vertex
-  // list, every layer the full adjacency in local (= global) ids.
-  const VertexId n = dataset.graph.num_vertices();
-  std::vector<VertexId> all(n);
-  std::iota(all.begin(), all.end(), 0u);
-  SampleLayer full_layer;
-  full_layer.num_src = n;
-  full_layer.num_dst = n;
-  full_layer.offsets.reserve(n + 1);
-  full_layer.offsets.push_back(0);
-  for (VertexId v = 0; v < n; ++v) {
-    for (VertexId u : dataset.graph.neighbors(v)) {
-      full_layer.neighbors.push_back(u);
-    }
-    full_layer.offsets.push_back(
-        static_cast<uint32_t>(full_layer.neighbors.size()));
-  }
-  const uint32_t num_layers = model_->num_hops();
-  GNNDM_CHECK(num_layers >= 1);
-  full_graph_.node_ids.assign(num_layers + 1, all);
-  full_graph_.layers.assign(num_layers, full_layer);
-
-  TransferEngine::Gather(all, dataset.features, input_);
+  // The full-graph "subgraph" (identity levels over the full adjacency,
+  // all features gathered) is just the one-batch case of the shared batch
+  // data plane: FullBatchSource materializes it, this trainer keeps it
+  // resident across epochs.
+  FullBatchSource source(dataset.graph, dataset.features,
+                         model_->num_hops());
+  std::optional<PreparedBatch> batch = source.Next();
+  GNNDM_CHECK(batch.has_value());
+  full_graph_ = std::move(batch->subgraph);
+  input_ = std::move(batch->input);
 }
 
 EpochStats FullBatchTrainer::TrainEpoch() {

@@ -5,8 +5,6 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/telemetry.h"
-#include "core/async_loader.h"
-#include "core/costs.h"
 #include "graph/stats.h"
 #include "partition/metis_partitioner.h"
 #include "tensor/ops.h"
@@ -55,6 +53,9 @@ Trainer::Trainer(const Dataset& dataset, const TrainerConfig& config)
 
   transfer_ = MakeTransferEngine(config.transfer, config.device);
   GNNDM_CHECK(transfer_ != nullptr);
+  consumer_ = std::make_unique<BatchConsumer>(
+      dataset_, config.device, *transfer_, *model_, config.hidden_dim,
+      config.num_conv_layers, config.num_mlp_layers);
 
   if (config.cache_policy != "none" && config.cache_ratio > 0.0) {
     const auto capacity = static_cast<uint64_t>(
@@ -80,72 +81,25 @@ Trainer::Trainer(const Dataset& dataset, const TrainerConfig& config)
   }
 }
 
-StageTimes Trainer::RunBatch(const std::vector<VertexId>& batch,
-                             EpochStats& stats) {
-  // --- Batch preparation. GNN models need L-hop sampling; the MLP/DNN
-  // baseline (num_hops == 0) trains on independent samples, so its batch
-  // is just the seed rows — the Fig 2 contrast. ---
-  SampledSubgraph sg;
-  if (model_->num_hops() == 0) {
-    sg.node_ids.push_back(batch);
-  } else {
-    TRACE_SPAN("trainer.sample");
-    sg = sampler_.Sample(dataset_.graph, batch, rng_);
-  }
-  Tensor input;
-  return RunPreparedBatch(batch, sg, input, /*input_ready=*/false, stats);
+StageTimes Trainer::ConsumeTrainingBatch(PreparedBatch& batch,
+                                         EpochStats& stats) {
+  ConsumeOutcome out =
+      consumer_->Consume(batch, has_cache_ ? &cache_ : nullptr);
+  optimizer_->Step();
+  stats.involved_vertices += out.involved_vertices;
+  stats.involved_edges += out.involved_edges;
+  stats.extract_seconds += out.transfer.extract_seconds;
+  stats.load_seconds += out.transfer.transfer_seconds;
+  stats.bytes_transferred += out.transfer.bytes_moved;
+  stats.rows_from_cache += out.transfer.rows_from_cache;
+  stats.rows_requested += out.transfer.rows_requested;
+  stats.train_loss += out.loss_sum;
+  return out.times;
 }
 
-StageTimes Trainer::RunPreparedBatch(const std::vector<VertexId>& batch,
-                                     const SampledSubgraph& sg,
-                                     Tensor& input, bool input_ready,
-                                     EpochStats& stats) {
-  StageTimes times;
-  times.batch_prep = config_.device.SampleSeconds(
-      model_->num_hops() == 0 ? batch.size() : sg.TotalEdges());
-  stats.involved_vertices += sg.TotalVertices();
-  stats.involved_edges += sg.TotalEdges();
-
-  // --- Data transferring: move input feature rows host -> device. ---
-  const FeatureCache* cache = has_cache_ ? &cache_ : nullptr;
-  TransferStats transfer;
-  {
-    TRACE_SPAN("trainer.transfer");
-    if (input_ready) {
-      // Rows were staged by the async loader; only account the cost.
-      transfer = transfer_->Cost(sg.input_vertices(), dataset_.features,
-                                 cache);
-    } else {
-      transfer = transfer_->Transfer(sg.input_vertices(), dataset_.features,
-                                     cache, input);
-    }
-  }
-  times.data_transfer = transfer.TotalSeconds();
-  times.extract = transfer.extract_seconds;
-  times.load = transfer.transfer_seconds;
-  stats.extract_seconds += transfer.extract_seconds;
-  stats.load_seconds += transfer.transfer_seconds;
-  stats.bytes_transferred += transfer.bytes_moved;
-  stats.rows_from_cache += transfer.rows_from_cache;
-  stats.rows_requested += transfer.rows_requested;
-
-  // --- NN computation: real forward/backward, virtual GPU time. ---
-  TRACE_SPAN("trainer.nn");
-  const Tensor& logits = model_->Forward(sg, input, /*train=*/true);
-  std::vector<int32_t> labels(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    labels[i] = dataset_.labels[batch[i]];
-  }
-  Tensor d_logits;
-  const double loss = SoftmaxCrossEntropy(logits, labels, d_logits);
-  model_->Backward(sg, d_logits);
-  optimizer_->Step();
-  stats.train_loss += loss * static_cast<double>(batch.size());
-  times.nn_compute = config_.device.NnStepSeconds(
-      EstimateGnnFlops(sg, dataset_.features.dim(), config_.hidden_dim,
-                       dataset_.num_classes, config_.num_mlp_layers),
-      config_.num_conv_layers + config_.num_mlp_layers);
-  return times;
+size_t Trainer::EffectiveLoaderWorkers() const {
+  if (config_.loader_workers > 0) return config_.loader_workers;
+  return config_.async_batch_loading ? 1 : 0;
 }
 
 EpochStats Trainer::TrainEpoch() {
@@ -157,21 +111,19 @@ EpochStats Trainer::TrainEpoch() {
                                         stats.batch_size, rng_);
   std::vector<StageTimes> stage_times;
   stage_times.reserve(batches.size());
-  if (config_.async_batch_loading && model_->num_hops() > 0) {
-    AsyncBatchLoader loader(dataset_.graph, dataset_.features,
-                            std::move(batches), sampler_,
-                            config_.seed ^ (0xA51Cull + epoch_),
-                            config_.async_queue_depth);
-    while (auto prepared = loader.Next()) {
-      stage_times.push_back(RunPreparedBatch(prepared->seeds,
-                                             prepared->subgraph,
-                                             prepared->input,
-                                             /*input_ready=*/true, stats));
-    }
-  } else {
-    for (const auto& batch : batches) {
-      stage_times.push_back(RunBatch(batch, stats));
-    }
+  // One epoch = one BatchSource. The per-epoch seed (not the shared rng_)
+  // drives all batch sampling, so the delivered stream is byte-identical
+  // whether batches are prepared inline or by N workers at any prefetch
+  // depth — the pluggable data plane's contract.
+  BatchSourceOptions source_options;
+  source_options.workers = EffectiveLoaderWorkers();
+  source_options.queue_depth = config_.async_queue_depth;
+  source_options.seed = config_.seed ^ (0xA51Cull + epoch_);
+  std::unique_ptr<BatchSource> source = MakeBatchSource(
+      dataset_.graph, dataset_.features, std::move(batches),
+      model_->num_hops() > 0 ? &sampler_ : nullptr, source_options);
+  while (auto prepared = source->Next()) {
+    stage_times.push_back(ConsumeTrainingBatch(*prepared, stats));
   }
   PipelineResult pipeline = SimulatePipeline(stage_times, config_.pipeline);
   stats.epoch_seconds = pipeline.total_seconds;

@@ -8,6 +8,8 @@
 
 #include "batch/batch_schedule.h"
 #include "batch/batch_selector.h"
+#include "core/batch_consumer.h"
+#include "core/batch_source.h"
 #include "core/convergence.h"
 #include "core/metrics.h"
 #include "graph/dataset.h"
@@ -49,9 +51,15 @@ struct TrainerConfig {
   // Data transferring (§7).
   std::string transfer = "extract-load";  ///< "zero-copy", "hybrid"
   PipelineMode pipeline = PipelineMode::kNone;
-  /// Prepare batches on a real background thread (AsyncBatchLoader)
-  /// instead of inline — the host-side mechanism behind pipeline
-  /// overlap. Numerically equivalent training, different RNG stream.
+  /// Producer workers for the batch data plane: 0 = prepare batches
+  /// inline on the training thread, N >= 1 = an AsyncBatchSource with N
+  /// background sampler/gather workers — the host-side mechanism behind
+  /// pipeline overlap (DGL/GNNLab dataloader workers). Training output is
+  /// byte-identical at any worker count and queue depth (the BatchSource
+  /// determinism contract), so both are pure throughput knobs.
+  size_t loader_workers = 0;
+  /// Legacy switch: forces at least one producer worker even when
+  /// loader_workers is 0.
   bool async_batch_loading = false;
   size_t async_queue_depth = 4;
   /// "none", "degree", or "presample".
@@ -130,15 +138,12 @@ class Trainer {
       const std::vector<VertexId>& vertices);
 
  private:
-  /// One batch: sample, transfer, forward/backward, step. Returns stage
-  /// times and updates `stats`.
-  StageTimes RunBatch(const std::vector<VertexId>& batch, EpochStats& stats);
+  /// Consumes one prepared batch through the shared BatchConsumer tail,
+  /// steps the optimizer, and folds the outcome into `stats`.
+  StageTimes ConsumeTrainingBatch(PreparedBatch& batch, EpochStats& stats);
 
-  /// Shared tail of RunBatch once the subgraph (and possibly the input
-  /// block) exists: transfer accounting + NN step.
-  StageTimes RunPreparedBatch(const std::vector<VertexId>& batch,
-                              const SampledSubgraph& sg, Tensor& input,
-                              bool input_ready, EpochStats& stats);
+  /// Producer workers resolved from loader_workers/async_batch_loading.
+  size_t EffectiveLoaderWorkers() const;
 
   double EvaluateOn(const std::vector<VertexId>& vertices);
 
@@ -151,6 +156,7 @@ class Trainer {
   std::unique_ptr<BatchSelector> selector_;
   std::unique_ptr<BatchSizeSchedule> schedule_;
   std::unique_ptr<TransferEngine> transfer_;
+  std::unique_ptr<BatchConsumer> consumer_;
   FeatureCache cache_;
   bool has_cache_ = false;
   ConvergenceTracker tracker_;

@@ -5,7 +5,6 @@
 #include "batch/batch_selector.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
-#include "core/costs.h"
 #include "tensor/ops.h"
 
 namespace gnndm {
@@ -36,6 +35,9 @@ DistTrainer::DistTrainer(const Dataset& dataset,
       /*beta2=*/0.999f, /*epsilon=*/1e-8f, config.weight_decay);
   transfer_ = MakeTransferEngine(config.transfer, config.device);
   GNNDM_CHECK(transfer_ != nullptr);
+  consumer_ = std::make_unique<BatchConsumer>(
+      dataset_, config.device, *transfer_, *model_, config.hidden_dim,
+      config.num_conv_layers, config.num_mlp_layers);
 
   workers_.resize(partition_.num_parts);
   for (uint32_t p = 0; p < partition_.num_parts; ++p) {
@@ -76,10 +78,12 @@ double DistTrainer::RunWorkerBatch(uint32_t worker,
   Worker& w = workers_[worker];
   WorkerStats& ledger = stats.workers[worker];
 
-  SampledSubgraph sg = sampler_.Sample(dataset_.graph, batch, w.rng);
+  PreparedBatch prepared;
+  prepared.seeds = batch;
+  prepared.subgraph = sampler_.Sample(dataset_.graph, batch, w.rng);
+  const SampledSubgraph& sg = prepared.subgraph;
   ledger.sampled_edges += sg.TotalEdges();
   ++ledger.batches;
-  double seconds = config_.device.SampleSeconds(sg.TotalEdges());
 
   // Remote traffic: structures for remote expansions, features for
   // remote input vertices; halo vertices are local.
@@ -119,38 +123,26 @@ double DistTrainer::RunWorkerBatch(uint32_t worker,
     telemetry::GetCounter("dist.feature_bytes").Add(feature_bytes);
     telemetry::GetCounter("dist.peer_contacts").Add(peers.size());
   }
-  seconds += network_.Seconds(structure_bytes + feature_bytes, peers.size());
+  const double network_seconds =
+      network_.Seconds(structure_bytes + feature_bytes, peers.size());
 
-  // Host->device transfer of the assembled input block (through the
-  // worker's GPU cache, if configured).
-  Tensor input;
-  TransferStats transfer =
-      transfer_->Transfer(sg.input_vertices(), dataset_.features,
-                          w.has_cache ? &w.cache : nullptr, input);
-  ledger.rows_from_cache += transfer.rows_from_cache;
-  const double transfer_seconds = transfer.TotalSeconds();
-
-  // NN compute: gradients accumulate into the shared model (synchronous
-  // data parallelism averages them at the round barrier).
-  const Tensor& logits = model_->Forward(sg, input, /*train=*/true);
-  std::vector<int32_t> labels(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    labels[i] = dataset_.labels[batch[i]];
-  }
-  Tensor d_logits;
-  loss_sum += SoftmaxCrossEntropy(logits, labels, d_logits) *
-              static_cast<double>(batch.size());
-  model_->Backward(sg, d_logits);
-  const double nn_seconds = config_.device.NnStepSeconds(
-      EstimateGnnFlops(sg, dataset_.features.dim(), config_.hidden_dim,
-                       dataset_.num_classes, config_.num_mlp_layers),
-      config_.num_conv_layers + config_.num_mlp_layers);
+  // Shared pipeline tail: host->device transfer (through the worker's
+  // GPU cache, if configured) + NN forward/backward. Gradients accumulate
+  // into the shared model; synchronous data parallelism averages them at
+  // the round barrier, so no optimizer step here.
+  ConsumeOutcome out =
+      consumer_->Consume(prepared, w.has_cache ? &w.cache : nullptr);
+  ledger.rows_from_cache += out.transfer.rows_from_cache;
+  loss_sum += out.loss_sum;
+  const double transfer_seconds = out.times.data_transfer;
+  const double nn_seconds = out.times.nn_compute;
 
   // Per-worker pipelining (DistDGLv2-style): in steady state batch
   // preparation (and with the full pipeline, transfer) overlaps with the
   // device work of the previous batch; the synchronous barrier per round
   // still gates across workers.
-  const double prep_seconds = seconds;  // sampling + network so far
+  const double prep_seconds = out.times.batch_prep + network_seconds;
+  double seconds = 0.0;
   switch (config_.pipeline) {
     case PipelineMode::kNone:
       seconds = prep_seconds + transfer_seconds + nn_seconds;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/batch_consumer.h"
 #include "core/convergence.h"
 #include "core/trainer.h"
 #include "dist/network_model.h"
@@ -85,6 +86,9 @@ class DistTrainer {
   std::unique_ptr<GnnModel> model_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<TransferEngine> transfer_;
+  /// Shared pipeline tail (transfer accounting + NN step): one consumer
+  /// serves every worker, each passing its own cache.
+  std::unique_ptr<BatchConsumer> consumer_;
   std::vector<Worker> workers_;
   Rng rng_;
   ConvergenceTracker tracker_;

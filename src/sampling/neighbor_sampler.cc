@@ -97,6 +97,17 @@ uint32_t NeighborSampler::SampleCount(const HopSpec& spec, uint32_t degree) {
 SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
                                         const std::vector<VertexId>& seeds,
                                         Rng& rng) const {
+  // One scratch per thread: concurrent callers (the AsyncBatchSource
+  // producer workers) each get their own workspace while sharing the
+  // sampler itself read-only.
+  thread_local SamplerScratch scratch;
+  return Sample(graph, seeds, rng, scratch);
+}
+
+SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
+                                        const std::vector<VertexId>& seeds,
+                                        Rng& rng,
+                                        SamplerScratch& scratch) const {
   const uint32_t num_layers = this->num_layers();
   SampledSubgraph sg;
   sg.node_ids.resize(num_layers + 1);
@@ -117,9 +128,9 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
     // insertion-order slots the hash map assigned, no hashing, O(1) reset.
     std::vector<VertexId>& src_ids = sg.node_ids[src_level];
     src_ids = dst_ids;
-    renumber_.Reset(graph.num_vertices());
+    scratch.renumber.Reset(graph.num_vertices());
     for (uint32_t i = 0; i < dst_ids.size(); ++i) {
-      renumber_.InsertOrGet(dst_ids[i], i);
+      scratch.renumber.InsertOrGet(dst_ids[i], i);
     }
 
     SampleLayer& layer = sg.layers[src_level];
@@ -134,21 +145,21 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
       if (k == degree) {
         // Keep the whole neighborhood — no sampling needed.
         for (VertexId u : nbrs) {
-          auto [slot, inserted] = renumber_.InsertOrGet(
+          auto [slot, inserted] = scratch.renumber.InsertOrGet(
               u, static_cast<uint32_t>(src_ids.size()));
           if (inserted) src_ids.push_back(u);
           layer.neighbors.push_back(slot);
         }
       } else {
         if (spec.weighting == NeighborWeighting::kUniform) {
-          rng.SampleWithoutReplacement(degree, k, pick_scratch_);
+          rng.SampleWithoutReplacement(degree, k, scratch.picks);
         } else {
-          WeightedPicks(graph, nbrs, k, spec.weighting, rng, key_scratch_,
-                        pick_scratch_);
+          WeightedPicks(graph, nbrs, k, spec.weighting, rng, scratch.keys,
+                        scratch.picks);
         }
-        for (uint32_t pick : pick_scratch_) {
+        for (uint32_t pick : scratch.picks) {
           VertexId u = nbrs[pick];
-          auto [slot, inserted] = renumber_.InsertOrGet(
+          auto [slot, inserted] = scratch.renumber.InsertOrGet(
               u, static_cast<uint32_t>(src_ids.size()));
           if (inserted) src_ids.push_back(u);
           layer.neighbors.push_back(slot);

@@ -13,6 +13,18 @@
 
 namespace gnndm {
 
+/// Reusable per-call workspace for NeighborSampler::Sample so steady-state
+/// sampling performs no hashing and no heap allocation (batch preparation
+/// is the paper's Fig. 2 hot path). One instance per calling thread: the
+/// scratch is mutated during a call, the sampler itself is not, which is
+/// what lets a single const NeighborSampler be shared read-only by N
+/// producer workers (AsyncBatchSource) under TSan.
+struct SamplerScratch {
+  VertexRenumberer renumber;
+  std::vector<std::pair<double, uint32_t>> keys;
+  std::vector<uint32_t> picks;
+};
+
 /// How the size of one hop's sampled neighborhood is determined — the two
 /// families the paper evaluates in §6 plus its proposed hybrid.
 enum class SampleSizeMode {
@@ -91,7 +103,20 @@ class NeighborSampler {
   /// Convenience: rate-based sampler with the same rate at every hop.
   static NeighborSampler WithRate(double rate, uint32_t num_layers);
 
-  /// Samples the L-hop subgraph rooted at `seeds`. Deterministic in `rng`.
+  /// Samples the L-hop subgraph rooted at `seeds`. Deterministic in `rng`
+  /// (the scratch never influences the draws). Genuinely const: all
+  /// mutable state lives in `scratch`, so one sampler instance may be
+  /// shared by any number of concurrent callers as long as each brings
+  /// its own scratch and rng.
+  SampledSubgraph Sample(const CsrGraph& graph,
+                         const std::vector<VertexId>& seeds, Rng& rng,
+                         SamplerScratch& scratch) const;
+
+  /// Convenience overload using a thread-local scratch: same results,
+  /// zero steady-state allocation, safe to call from any thread. The
+  /// scratch keeps two u32 arrays sized to the largest graph sampled on
+  /// that thread alive for the thread's lifetime — the same dense
+  /// workspace the per-sampler scratch used to pin per instance.
   SampledSubgraph Sample(const CsrGraph& graph,
                          const std::vector<VertexId>& seeds, Rng& rng) const;
 
@@ -110,15 +135,6 @@ class NeighborSampler {
   static uint32_t SampleCount(const HopSpec& spec, uint32_t degree);
 
   std::vector<HopSpec> hops_;
-
-  /// Reusable scratch so steady-state sampling performs no hashing and no
-  /// heap allocation (batch preparation is the paper's Fig. 2 hot path).
-  /// Sample() stays logically const but mutates these buffers; a single
-  /// sampler instance must therefore not be shared by concurrent callers —
-  /// copy the sampler per worker instead (AsyncBatchLoader already does).
-  mutable VertexRenumberer renumber_;
-  mutable std::vector<std::pair<double, uint32_t>> key_scratch_;
-  mutable std::vector<uint32_t> pick_scratch_;
 };
 
 }  // namespace gnndm

@@ -25,8 +25,9 @@ namespace gnndm {
 /// switching to this map assigns exactly the local ids it assigned with
 /// the hash map — sampled subgraphs stay bit-identical.
 ///
-/// Not thread-safe; one instance per sampler instance (samplers are
-/// copied per worker, see AsyncBatchLoader).
+/// Not thread-safe; one instance per SamplerScratch, and one scratch per
+/// calling thread (see NeighborSampler::Sample) — which is what lets a
+/// single const sampler be shared by the BatchSource producer workers.
 class VertexRenumberer {
  public:
   static constexpr uint32_t kAbsent = std::numeric_limits<uint32_t>::max();

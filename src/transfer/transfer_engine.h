@@ -46,7 +46,7 @@ class TransferEngine {
 
   /// Accounting only: the modeled cost of moving these rows, without
   /// touching any data. Used when the rows were already staged (e.g. by
-  /// an AsyncBatchLoader).
+  /// a BatchSource producer worker).
   virtual TransferStats Cost(const std::vector<VertexId>& vertices,
                              const FeatureMatrix& features,
                              const FeatureCache* cache) const = 0;

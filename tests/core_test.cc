@@ -183,6 +183,37 @@ TEST_F(TrainerTest, AsyncLoaderPathIsDeterministic) {
   EXPECT_EQ(ea.involved_edges, eb.involved_edges);
 }
 
+TEST_F(TrainerTest, LoaderWorkersAreByteIdentical) {
+  // The BatchSource contract end to end: training with N producer
+  // workers at any prefetch depth yields bit-identical epoch stats to
+  // preparing every batch inline — loss double included.
+  auto run = [&](size_t workers, size_t depth) {
+    TrainerConfig config = SmallConfig();
+    config.loader_workers = workers;
+    config.async_queue_depth = depth;
+    Trainer trainer(dataset_, config);
+    std::vector<EpochStats> epochs;
+    for (int e = 0; e < 2; ++e) epochs.push_back(trainer.TrainEpoch());
+    return epochs;
+  };
+  const std::vector<EpochStats> inline_run = run(0, 1);
+  for (auto [workers, depth] :
+       {std::pair<size_t, size_t>{1, 1}, {4, 2}, {4, 16}}) {
+    const std::vector<EpochStats> worker_run = run(workers, depth);
+    ASSERT_EQ(worker_run.size(), inline_run.size());
+    for (size_t e = 0; e < inline_run.size(); ++e) {
+      EXPECT_DOUBLE_EQ(worker_run[e].train_loss, inline_run[e].train_loss);
+      EXPECT_EQ(worker_run[e].involved_vertices,
+                inline_run[e].involved_vertices);
+      EXPECT_EQ(worker_run[e].involved_edges, inline_run[e].involved_edges);
+      EXPECT_EQ(worker_run[e].bytes_transferred,
+                inline_run[e].bytes_transferred);
+      EXPECT_DOUBLE_EQ(worker_run[e].epoch_seconds,
+                       inline_run[e].epoch_seconds);
+    }
+  }
+}
+
 TEST_F(TrainerTest, EvaluateDetailedIsConsistentWithEvaluate) {
   Trainer trainer(dataset_, SmallConfig());
   trainer.TrainEpoch();

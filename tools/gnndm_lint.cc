@@ -10,7 +10,12 @@
 //                         else must use gnndm::Mutex / MutexLock / CondVar
 //                         so Clang Thread Safety Analysis sees it
 //   raw-thread            std::thread in src/ only in the audited
-//                         concurrency surfaces (ThreadPool, AsyncBatchLoader)
+//                         concurrency surfaces (ThreadPool, BatchSource)
+//   batch-plane           batch production stays unified behind
+//                         MakeBatchSource: src/ code outside
+//                         src/core/batch_source.{h,cc} must not name the
+//                         producer-thread implementation directly; mark
+//                         exceptions `// batch-plane-ok: <reason>`
 //   assert-in-cc          assert() in non-test .cc files — use GNNDM_DCHECK /
 //                         GNNDM_CHECK, which log and honor sanitizer builds
 //   deserialize-validate  .cc files that parse binary input must call a
@@ -122,7 +127,7 @@ const std::set<std::string> kThreadAllowlist = {
     "src/common/thread_pool.h", "src/common/thread_pool.cc",
     // hardware_concurrency() only; all shared state is annotated.
     "src/common/parallel_for.cc",
-    "src/core/async_loader.h", "src/core/async_loader.cc",
+    "src/core/batch_source.h", "src/core/batch_source.cc",
 };
 
 void CheckConcurrencyPrimitives(const std::string& rel,
@@ -202,6 +207,40 @@ void CheckRawLoopKernels(const std::string& rel,
   }
 }
 
+/// Batch production is unified behind the BatchSource plane: src/ code
+/// outside src/core/batch_source.{h,cc} must not name the producer-thread
+/// implementation (AsyncBatchSource) or the retired AsyncBatchLoader —
+/// construct through MakeBatchSource so inline and async stay freely
+/// interchangeable. Tests and benches may probe the concrete types.
+/// Escape marker: `// batch-plane-ok: <reason>` on the line or the line
+/// above.
+void CheckBatchPlane(const std::string& rel,
+                     const std::vector<std::string>& lines) {
+  if (!StartsWith(rel, "src/")) return;
+  if (rel == "src/core/batch_source.h" ||
+      rel == "src/core/batch_source.cc") {
+    return;
+  }
+  static const char* kPlaneTokens[] = {"AsyncBatchSource",
+                                       "AsyncBatchLoader"};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripLineComment(lines[i]);
+    for (const char* token : kPlaneTokens) {
+      if (!ContainsToken(code, token)) continue;
+      const bool marked =
+          lines[i].find("batch-plane-ok") != std::string::npos ||
+          (i > 0 && lines[i - 1].find("batch-plane-ok") != std::string::npos);
+      if (!marked) {
+        Report(rel, i + 1, "batch-plane",
+               std::string(token) +
+                   " outside src/core/batch_source.{h,cc} fragments the "
+                   "batch data plane; go through MakeBatchSource or mark "
+                   "the line '// batch-plane-ok: <reason>'");
+      }
+    }
+  }
+}
+
 /// The pipeline-stage directories must not time work outside the span
 /// tracer: a raw WallTimer there produces numbers telemetry (and the
 /// EpochStats reconciliation test) cannot see. Legitimate non-stage
@@ -272,6 +311,7 @@ void LintFile(const fs::path& path, const fs::path& root) {
   const bool is_source = path.extension() == ".cc";
   if (is_header) CheckIncludeGuard(rel, lines);
   CheckConcurrencyPrimitives(rel, lines);
+  CheckBatchPlane(rel, lines);
   if (is_source) {
     CheckAssert(rel, lines);
     CheckDeserializationValidates(rel, contents);

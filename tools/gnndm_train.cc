@@ -106,7 +106,11 @@ int Main(int argc, char** argv) {
         "  --selector=random|cluster\n"
         "  --transfer=extract-load|zero-copy|hybrid  "
         "--pipeline=none|bp|bp-dt\n"
-        "  --cache=none|degree|presample  --cache_ratio=F  --async\n"
+        "  --cache=none|degree|presample  --cache_ratio=F\n"
+        "  --loader-workers=N  batch-producer workers (0 = prepare\n"
+        "                      inline; output is byte-identical at any N)\n"
+        "  --queue-depth=N     prefetch window of the async source\n"
+        "  --async             legacy: force one producer worker\n"
         "  --save=FILE.gnck  --load=FILE.gnck\n"
         "  --workers=N  --partitioner=hash|metis-v|metis-ve|metis-vet|"
         "stream-v|stream-b|edge-hash\n"
@@ -169,6 +173,10 @@ int Main(int argc, char** argv) {
   config.cache_policy = flags.GetString("cache", "none");
   config.cache_ratio = flags.GetDouble("cache_ratio", 0.0);
   config.async_batch_loading = flags.GetBool("async", false);
+  config.loader_workers =
+      static_cast<size_t>(flags.GetInt("loader-workers", 0));
+  config.async_queue_depth = static_cast<size_t>(flags.GetInt(
+      "queue-depth", static_cast<int64_t>(config.async_queue_depth)));
   config.p3_feature_parallel = flags.GetBool("p3", false);
   config.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
