@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_order.h"
+
 /// Clang Thread Safety Analysis attributes, compiled to no-ops elsewhere.
 /// Concurrency-bearing classes declare which mutex guards which member
 /// (`GNNDM_GUARDED_BY`) and which functions run under which lock
@@ -44,15 +46,40 @@ namespace gnndm {
 /// std::mutex with a thread-safety "capability" the analysis can track.
 /// Prefer MutexLock for scoped locking; Lock/Unlock exist for the rare
 /// hand-over-hand pattern and for CondVar::Wait.
+///
+/// Debug and sanitizer builds additionally feed every acquisition into
+/// the process-wide lock-order graph (common/lock_order.h): the first
+/// A→B / B→A inversion anywhere in the process aborts with the cycle,
+/// before any run actually deadlocks. Release builds compile the hooks
+/// out. Pass a name so cycle reports read "pool.mu -> loader.mu" instead
+/// of raw addresses.
 class GNNDM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { lock_order::OnDestroy(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() GNNDM_ACQUIRE() { mu_.lock(); }
-  void Unlock() GNNDM_RELEASE() { mu_.unlock(); }
-  bool TryLock() GNNDM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() GNNDM_ACQUIRE() {
+    lock_order::BeforeAcquire(this, name_);
+    mu_.lock();
+    lock_order::OnAcquired(this, name_);
+  }
+  void Unlock() GNNDM_RELEASE() {
+    lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+  /// Non-blocking, so it can never deadlock and records no ordering
+  /// edges of its own; on success the mutex still joins the held set so
+  /// later blocking acquisitions order against it.
+  bool TryLock() GNNDM_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) lock_order::OnAcquired(this, name_);
+    return ok;
+  }
+
+  const char* name() const { return name_; }
 
   /// Escape hatch for interop with std APIs; using it bypasses analysis.
   std::mutex& native_handle() GNNDM_RETURN_CAPABILITY(this) { return mu_; }
@@ -60,6 +87,7 @@ class GNNDM_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_ = nullptr;
 };
 
 /// RAII lock, annotated so clang knows the capability is held for the
@@ -90,9 +118,17 @@ class CondVar {
   /// `while (!predicate)` loop — the loop form (rather than a predicate
   /// callback) keeps guarded-member accesses visible to the analysis.
   void Wait(Mutex& mu) GNNDM_REQUIRES(mu) {
+    // The wait releases and reacquires `mu`; mirror that in the
+    // lock-order graph so the held set stays truthful while blocked and
+    // the reacquisition re-checks ordering against locks still held.
+    lock_order::OnRelease(&mu);
+    // The reacquisition happens inside cv_.wait, so check its ordering
+    // here: the held set cannot change while this thread is blocked.
+    lock_order::BeforeAcquire(&mu, mu.name_);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
+    lock_order::OnAcquired(&mu, mu.name_);
   }
 
   void NotifyOne() { cv_.notify_one(); }

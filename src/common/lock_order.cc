@@ -1,0 +1,239 @@
+#include "common/lock_order.h"
+
+#if GNNDM_LOCK_ORDER_IS_ON()
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gnndm {
+namespace lock_order {
+namespace {
+
+/// One node per live gnndm::Mutex, indexed by a dense id. Ids of
+/// destroyed mutexes are recycled through `free_ids` after their edges
+/// are purged, so stack-allocated mutexes in tight test loops cannot
+/// grow the graph without bound.
+struct Node {
+  const void* addr = nullptr;
+  const char* name = nullptr;      // diagnostic label; may be null
+  std::vector<uint32_t> out;       // recorded held→acquired successors
+  bool live = false;
+};
+
+struct State {
+  // The detector sits below gnndm::Mutex and must use the raw standard
+  // mutex: wrapping it would recurse straight back into these hooks.
+  std::mutex mu;
+  std::unordered_map<const void*, uint32_t> id_of;
+  std::vector<Node> nodes;
+  std::vector<uint32_t> free_ids;
+  int edge_count = 0;
+};
+
+/// Leaked singleton: mutexes lock during static construction and
+/// destruction, so the graph must outlive every static object.
+State& S() {
+  static State* state = new State;
+  return *state;
+}
+
+/// Per-thread stack of currently held mutex addresses, in acquisition
+/// order. Out-of-order release (hand-over-hand) is handled by removing
+/// from anywhere in the stack, searching from the most recent.
+///
+/// Deliberately a trivially-destructible POD slot, not a std::vector:
+/// glibc runs __call_tls_dtors (destroying TLS objects with
+/// destructors) BEFORE atexit-time static destructors, so a static
+/// object whose destructor locks a Mutex — e.g. a global
+/// shared_ptr<ThreadPool> — would push into a destroyed vector
+/// (heap-use-after-free, caught by asan). A flat array with constant
+/// initialization has no destructor and stays valid through exit.
+constexpr size_t kMaxHeld = 64;
+struct HeldStack {
+  const void* items[kMaxHeld];
+  size_t size;
+};
+thread_local HeldStack g_held{{}, 0};
+
+uint32_t IdFor(State& s, const void* mu, const char* name) {
+  auto it = s.id_of.find(mu);
+  if (it != s.id_of.end()) {
+    if (name != nullptr) s.nodes[it->second].name = name;
+    return it->second;
+  }
+  uint32_t id;
+  if (!s.free_ids.empty()) {
+    id = s.free_ids.back();
+    s.free_ids.pop_back();
+    s.nodes[id] = Node{};
+  } else {
+    id = static_cast<uint32_t>(s.nodes.size());
+    s.nodes.emplace_back();
+  }
+  s.nodes[id].addr = mu;
+  s.nodes[id].name = name;
+  s.nodes[id].live = true;
+  s.id_of.emplace(mu, id);
+  return id;
+}
+
+std::string Label(const State& s, uint32_t id) {
+  const Node& n = s.nodes[id];
+  if (n.name != nullptr) return n.name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Mutex@%p", n.addr);
+  return buf;
+}
+
+bool HasEdge(const State& s, uint32_t from, uint32_t to) {
+  for (uint32_t v : s.nodes[from].out) {
+    if (v == to) return true;
+  }
+  return false;
+}
+
+/// DFS from `from` looking for `to`; on success fills `path` with the
+/// node ids from `from` to `to` inclusive.
+bool FindPath(const State& s, uint32_t from, uint32_t to,
+              std::vector<uint32_t>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  std::vector<bool> visited(s.nodes.size(), false);
+  std::vector<uint32_t> parent(s.nodes.size(), 0);
+  std::vector<uint32_t> stack{from};
+  visited[from] = true;
+  bool found = false;
+  while (!stack.empty() && !found) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t w : s.nodes[v].out) {
+      if (visited[w]) continue;
+      visited[w] = true;
+      parent[w] = v;
+      if (w == to) {
+        found = true;
+        break;
+      }
+      stack.push_back(w);
+    }
+  }
+  if (!found) return false;
+  std::vector<uint32_t> rev{to};
+  while (rev.back() != from) rev.push_back(parent[rev.back()]);
+  path.assign(rev.rbegin(), rev.rend());
+  return true;
+}
+
+[[noreturn]] void ReportCycle(const State& s, uint32_t held_id,
+                              uint32_t want_id,
+                              const std::vector<uint32_t>& path) {
+  // The recorded graph proves want→…→held, and this thread is about to
+  // add held→want: print the full circle in acquisition-order notation.
+  std::string msg = "lock-order cycle (potential deadlock): acquiring " +
+                    Label(s, want_id) + " while holding " +
+                    Label(s, held_id) + ", but the reverse order " +
+                    "was already recorded: ";
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) msg += " -> ";
+    msg += Label(s, path[i]);
+  }
+  msg += " -> " + Label(s, want_id);
+  GNNDM_CHECK(false) << msg;
+  // GNNDM_CHECK(false) aborts in its stream destructor; unreachable.
+  std::abort();
+}
+
+}  // namespace
+
+void BeforeAcquire(const void* mu, const char* name) {
+  if (g_held.size == 0) return;  // first lock on this thread: no edges
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const uint32_t want = IdFor(s, mu, name);
+  for (size_t i = 0; i < g_held.size; ++i) {
+    const void* h = g_held.items[i];
+    if (h == mu) continue;  // relock via CondVar::Wait reacquisition
+    const uint32_t held_id = IdFor(s, h, nullptr);
+    if (HasEdge(s, held_id, want)) continue;  // memoized: edge known good
+    // New edge held_id→want. A recorded path want→…→held_id closes a
+    // cycle — abort before this thread can block on it.
+    std::vector<uint32_t> path;
+    if (FindPath(s, want, held_id, path)) {
+      ReportCycle(s, held_id, want, path);
+    }
+    s.nodes[held_id].out.push_back(want);
+    ++s.edge_count;
+  }
+}
+
+void OnAcquired(const void* mu, const char* name) {
+  (void)name;
+  GNNDM_CHECK(g_held.size < kMaxHeld)
+      << "lock-order detector: more than " << kMaxHeld
+      << " mutexes held simultaneously on one thread";
+  g_held.items[g_held.size++] = mu;
+}
+
+void OnRelease(const void* mu) {
+  for (size_t i = g_held.size; i > 0; --i) {
+    if (g_held.items[i - 1] == mu) {
+      for (size_t j = i - 1; j + 1 < g_held.size; ++j) {
+        g_held.items[j] = g_held.items[j + 1];
+      }
+      --g_held.size;
+      return;
+    }
+  }
+  // Releasing a mutex this thread never recorded: tolerated (e.g. a
+  // TryLock success path racing thread teardown).
+}
+
+void OnDestroy(const void* mu) {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.id_of.find(mu);
+  if (it == s.id_of.end()) return;
+  const uint32_t id = it->second;
+  s.id_of.erase(it);
+  s.edge_count -= static_cast<int>(s.nodes[id].out.size());
+  s.nodes[id] = Node{};
+  for (Node& n : s.nodes) {
+    if (n.out.empty()) continue;
+    for (size_t i = n.out.size(); i > 0; --i) {
+      if (n.out[i - 1] == id) {
+        n.out.erase(n.out.begin() + static_cast<long>(i - 1));
+        --s.edge_count;
+      }
+    }
+  }
+  s.free_ids.push_back(id);
+}
+
+void ResetForTest() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.id_of.clear();
+  s.nodes.clear();
+  s.free_ids.clear();
+  s.edge_count = 0;
+  g_held.size = 0;
+}
+
+int EdgeCountForTest() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.edge_count;
+}
+
+}  // namespace lock_order
+}  // namespace gnndm
+
+#endif  // GNNDM_LOCK_ORDER_IS_ON()

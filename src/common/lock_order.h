@@ -1,0 +1,76 @@
+#ifndef GNNDM_COMMON_LOCK_ORDER_H_
+#define GNNDM_COMMON_LOCK_ORDER_H_
+
+/// Runtime lock-order (deadlock-potential) detection for gnndm::Mutex.
+///
+/// Every blocking acquisition records a held→acquired edge for each mutex
+/// the calling thread already holds into one process-wide directed graph.
+/// Before the thread blocks, the new edges are checked for a cycle; the
+/// first cycle aborts via GNNDM_CHECK with the full offending path — so an
+/// A→B / B→A inversion fires deterministically the first time both orders
+/// have been *seen*, even if the interleaving that would actually deadlock
+/// never happens in that run (the absl deadlock-detector model).
+///
+/// Cost model: enabled only in debug builds and under the sanitizer
+/// presets (which define GNNDM_ENABLE_DCHECKS); release builds compile
+/// every hook to an empty inline function, so the annotated Mutex wrapper
+/// stays a bare std::mutex there. When enabled, the steady-state cost per
+/// acquisition is a thread-local vector push plus, per *distinct* edge,
+/// one pass under the detector's internal lock — repeat edges hit a
+/// memoized fast path. See DESIGN.md §11.
+///
+/// The detector is deliberately layered *below* the Mutex wrapper: it
+/// synchronizes with a raw std::mutex of its own (it cannot use
+/// gnndm::Mutex without recursing) and gnndm_lint exempts this file from
+/// the raw-lock rule for exactly that reason.
+
+#if !defined(NDEBUG) || defined(GNNDM_ENABLE_DCHECKS)
+#define GNNDM_LOCK_ORDER_IS_ON() 1
+#else
+#define GNNDM_LOCK_ORDER_IS_ON() 0
+#endif
+
+namespace gnndm {
+namespace lock_order {
+
+#if GNNDM_LOCK_ORDER_IS_ON()
+
+/// Called immediately before a blocking acquisition of `mu`. Records
+/// held→mu edges and aborts on the first potential-deadlock cycle.
+/// `name` labels the mutex in diagnostics (may be null).
+void BeforeAcquire(const void* mu, const char* name);
+
+/// Called once `mu` is actually held (blocking or successful try-lock);
+/// pushes it on the calling thread's held stack.
+void OnAcquired(const void* mu, const char* name);
+
+/// Called on unlock; removes `mu` from the calling thread's held stack.
+void OnRelease(const void* mu);
+
+/// Called from ~Mutex: forgets the mutex and every edge touching it, so
+/// a recycled address (stack-allocated mutexes in tests) cannot inherit
+/// stale ordering constraints.
+void OnDestroy(const void* mu);
+
+/// Test-only: drops the whole graph and the calling thread's held stack.
+/// Other threads' held stacks are untouched; call while quiescent.
+void ResetForTest();
+
+/// Number of distinct ordered edges currently in the graph (test probe).
+int EdgeCountForTest();
+
+#else  // release: every hook folds away
+
+inline void BeforeAcquire(const void*, const char*) {}
+inline void OnAcquired(const void*, const char*) {}
+inline void OnRelease(const void*) {}
+inline void OnDestroy(const void*) {}
+inline void ResetForTest() {}
+inline int EdgeCountForTest() { return 0; }
+
+#endif  // GNNDM_LOCK_ORDER_IS_ON()
+
+}  // namespace lock_order
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_LOCK_ORDER_H_

@@ -37,7 +37,7 @@ size_t DefaultThreads() {
 // SetComputeThreads swaps the shared_ptr; loops already in flight keep
 // their reference, so the old pool drains and joins only after the last
 // of them finishes.
-Mutex g_mu;
+Mutex g_mu{"parallel.registry_mu"};
 size_t g_threads GNNDM_GUARDED_BY(g_mu) = 0;  // 0 = not yet resolved
 std::shared_ptr<ThreadPool> g_pool GNNDM_GUARDED_BY(g_mu);
 
@@ -61,7 +61,7 @@ std::shared_ptr<ThreadPool> AcquirePool(size_t& threads_out)
 /// the per-call replacement.
 struct RunState {
   explicit RunState(size_t helpers) : pending(helpers) {}
-  Mutex mu;
+  Mutex mu{"parallel.run_mu"};
   CondVar done_cv;
   size_t pending GNNDM_GUARDED_BY(mu);
   std::exception_ptr error GNNDM_GUARDED_BY(mu);

@@ -159,7 +159,7 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.registry_mu"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       GNNDM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_
@@ -244,7 +244,7 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    Mutex mu;
+    Mutex mu{"tracer.buffer_mu"};
     std::vector<TraceEvent> events GNNDM_GUARDED_BY(mu);
     uint32_t track = 0;
   };
@@ -254,7 +254,7 @@ class Tracer {
 
   std::atomic<bool> active_{false};
   std::atomic<int64_t> t0_ns_{0};  // steady-clock origin of wall timestamps
-  mutable Mutex mu_;
+  mutable Mutex mu_{"tracer.registry_mu"};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GNNDM_GUARDED_BY(mu_);
 };
 

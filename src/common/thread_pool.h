@@ -50,7 +50,7 @@ class ThreadPool {
   void WorkerLoop() GNNDM_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  Mutex mu_;
+  Mutex mu_{"pool.mu"};
   std::queue<std::function<void()>> queue_ GNNDM_GUARDED_BY(mu_);
   CondVar work_cv_;
   CondVar done_cv_;

@@ -140,7 +140,7 @@ class AsyncBatchSource : public BatchSource {
   uint64_t seed_;
   size_t queue_depth_;
 
-  Mutex mu_;
+  Mutex mu_{"loader.reorder_mu"};
   CondVar window_open_;  ///< producers: your index now fits the window
   CondVar batch_ready_;  ///< consumer: a reorder slot was filled
   /// Ring-addressed reorder buffer: batch i parks in slot i % queue_depth

@@ -19,8 +19,8 @@ Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
 }
 
 void Sgd::Step() {
-  // Parameter tensors are tiny (hidden_dim^2 floats); the update is
-  // memory-bound and not worth scheduling. serial-ok.
+  // Parameter tensors are tiny (hidden_dim^2 floats).
+  // serial-ok: the memory-bound update is too small to be worth scheduling.
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     float* w = p->value.data();
@@ -60,8 +60,8 @@ void Adam::Step() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
-  // Parameter tensors are tiny (hidden_dim^2 floats); the update is
-  // memory-bound and not worth scheduling. serial-ok.
+  // Parameter tensors are tiny (hidden_dim^2 floats).
+  // serial-ok: the memory-bound update is too small to be worth scheduling.
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     float* w = p->value.data();

@@ -1,6 +1,6 @@
 #include "partition/analyzer.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
@@ -81,14 +81,18 @@ PartitionLoadReport AnalyzePartition(const CsrGraph& graph,
   PartitionLoadReport report;
   report.machines.resize(parts);
 
-  // Halo membership sets for halo-aware locality checks.
-  std::vector<std::unordered_set<VertexId>> halo(parts);
-  for (uint32_t p = 0; p < partition.halo.size(); ++p) {
-    halo[p].insert(partition.halo[p].begin(), partition.halo[p].end());
+  // Halo membership for halo-aware locality checks: sorted copies probed
+  // by binary search — no hash-table state, identical cost profile every
+  // run, and nothing order-unstable to iterate.
+  std::vector<std::vector<VertexId>> halo(parts);
+  for (uint32_t p = 0; p < partition.halo.size() && p < parts; ++p) {
+    halo[p] = partition.halo[p];
+    std::sort(halo[p].begin(), halo[p].end());
   }
   auto is_local = [&](VertexId v, uint32_t p) {
     return partition.assignment[v] == p ||
-           (p < halo.size() && halo[p].count(v) > 0);
+           (p < halo.size() &&
+            std::binary_search(halo[p].begin(), halo[p].end(), v));
   };
 
   Rng rng(options.seed);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
-#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/telemetry.h"
@@ -92,15 +92,30 @@ WGraph Coarsen(const WGraph& g, const std::vector<uint32_t>& match,
     }
   }
 
-  // Aggregate edges between coarse vertices.
-  std::vector<std::unordered_map<uint32_t, uint32_t>> nbr_weight(next);
+  // Aggregate edges between coarse vertices: collect per-row (neighbor,
+  // weight) pairs, then sort and merge duplicates so the coarse adjacency
+  // is emitted in neighbor-id order. A hash map here would bake a
+  // different edge permutation into the coarse graph every run.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> nbr_weight(next);
   for (uint32_t v = 0; v < g.n; ++v) {
     uint32_t cv = coarse_of[v];
     for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
       uint32_t cu = coarse_of[g.adj[e]];
       if (cu == cv) continue;  // intra-pair edge disappears
-      nbr_weight[cv][cu] += g.eweights[e];
+      nbr_weight[cv].push_back({cu, g.eweights[e]});
     }
+  }
+  for (uint32_t v = 0; v < next; ++v) {
+    auto& row = nbr_weight[v];
+    std::sort(row.begin(), row.end());
+    size_t out = 0;
+    for (size_t i = 0; i < row.size();) {
+      const uint32_t u = row[i].first;
+      uint32_t w = 0;
+      for (; i < row.size() && row[i].first == u; ++i) w += row[i].second;
+      row[out++] = {u, w};
+    }
+    row.resize(out);
   }
   coarse.offsets.assign(next + 1, 0);
   for (uint32_t v = 0; v < next; ++v) {

@@ -51,7 +51,12 @@ PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
   result.halo.resize(num_parts);
 
   // Per-partition accumulated vertex sets (train vertices + cached halo).
+  // The hash set answers the O(1) membership probes; the parallel vector
+  // records insertion order so every iteration below is deterministic
+  // (unordered_set iteration order is implementation-defined and would
+  // leak into the ownership/halo output).
   std::vector<std::unordered_set<VertexId>> part_set(num_parts);
+  std::vector<std::vector<VertexId>> part_members(num_parts);
   std::vector<uint64_t> train_count(num_parts, 0);
   const uint64_t capacity =
       (input.split.train.size() + num_parts - 1) / num_parts + 1;
@@ -83,15 +88,21 @@ PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
     }
     result.assignment[v] = best_part;
     ++train_count[best_part];
-    part_set[best_part].insert(v);
-    for (VertexId u : hood) part_set[best_part].insert(u);
+    if (part_set[best_part].insert(v).second) {
+      part_members[best_part].push_back(v);
+    }
+    for (VertexId u : hood) {
+      if (part_set[best_part].insert(u).second) {
+        part_members[best_part].push_back(u);
+      }
+    }
   }
 
   // Materialize halos: everything a partition cached beyond what it owns.
   // Non-train vertices are owned by the first partition that cached them
   // (falling back to hash for untouched vertices).
   for (uint32_t p = 0; p < num_parts; ++p) {
-    for (VertexId u : part_set[p]) {
+    for (VertexId u : part_members[p]) {
       if (result.assignment[u] == UINT32_MAX) result.assignment[u] = p;
     }
   }
@@ -101,7 +112,7 @@ PartitionResult StreamVPartitioner::Partition(const PartitionInput& input,
     }
   }
   for (uint32_t p = 0; p < num_parts; ++p) {
-    for (VertexId u : part_set[p]) {
+    for (VertexId u : part_members[p]) {
       if (result.assignment[u] != p) result.halo[p].push_back(u);
     }
     std::sort(result.halo[p].begin(), result.halo[p].end());
@@ -189,11 +200,14 @@ PartitionResult StreamBPartitioner::Partition(const PartitionInput& input,
       block_test += masks.is_test[v];
     }
     // Union of the block's 2-hop neighborhood (capped for hub blocks).
-    std::unordered_set<VertexId> hood;
+    // The set only dedups; the insertion-order vector is what gets
+    // iterated, so the link scores below never see hash-table order.
+    std::unordered_set<VertexId> hood_seen;
+    std::vector<VertexId> hood;
     for (VertexId v : block) {
       for (VertexId u :
            LHopNeighborhood(graph, v, /*hops=*/2, hood_cap)) {
-        hood.insert(u);
+        if (hood_seen.insert(u).second) hood.push_back(u);
         if (hood.size() >= hood_cap) break;
       }
       if (hood.size() >= hood_cap) break;

@@ -67,6 +67,11 @@ class VertexRenumberer {
 
   bool Contains(VertexId v) const { return stamp_[v] == epoch_; }
 
+  /// Test-only: force the generation counter so a test can exercise the
+  /// u32 wraparound refill without 4 billion Reset() calls.
+  void set_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
+  uint32_t epoch_for_testing() const { return epoch_; }
+
   /// Local id of `v`, or kAbsent if not inserted this generation.
   uint32_t Find(VertexId v) const {
     return stamp_[v] == epoch_ ? slot_[v] : kAbsent;

@@ -148,8 +148,8 @@ double SoftmaxCrossEntropy(const Tensor& logits,
   if (n == 0) return 0.0;
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
-  // The scalar loss reduction over rows defines the bitwise result;
-  // splitting it would reorder the double accumulation. serial-ok.
+  // The scalar loss reduction over rows defines the bitwise result.
+  // serial-ok: splitting the row loop would reorder the double accumulation.
   for (size_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
     float* grow = grad.data() + i * c;
@@ -170,8 +170,8 @@ double SoftmaxCrossEntropy(const Tensor& logits,
 
 std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
   std::vector<int32_t> out(logits.rows());
-  // Evaluation-only helper: O(rows * cols) compares, memory-bound and
-  // off the training hot path. serial-ok.
+  // Evaluation-only helper, off the training hot path.
+  // serial-ok: O(rows * cols) compares, memory-bound; not worth scheduling.
   for (size_t i = 0; i < logits.rows(); ++i) {
     const float* row = logits.data() + i * logits.cols();
     size_t best = 0;
@@ -186,8 +186,9 @@ std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
 void XavierInit(Tensor& w, Rng& rng) {
   double s = std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
   float* p = w.data();
-  // serial-ok: draws from a single sequential RNG stream; parallelizing
-  // would change which variate lands where.
+  // Draws from a single sequential RNG stream; parallelizing would
+  // change which variate lands where (and the loop is not kernel-shaped,
+  // so no escape marker is needed).
   for (size_t i = 0; i < w.size(); ++i) {
     p[i] = static_cast<float>((rng.UniformReal() * 2.0 - 1.0) * s);
   }

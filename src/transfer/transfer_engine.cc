@@ -1,7 +1,7 @@
 #include "transfer/transfer_engine.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
@@ -95,18 +95,25 @@ TransferStats HybridTransfer::Cost(const std::vector<VertexId>& vertices,
   const uint64_t rows_per_block =
       std::max<uint64_t>(1, block_bytes_ / row_bytes);
 
-  // Active (miss) rows per feature-table block.
-  std::unordered_map<uint64_t, uint64_t> block_active;
-  uint64_t misses = 0;
+  // Active (miss) rows per feature-table block: sort the miss block ids
+  // and run-length count, so the double accumulation below always sums
+  // in ascending block order (a hash map would reorder the rounding —
+  // and the stats — every run).
+  std::vector<uint64_t> miss_blocks;
+  miss_blocks.reserve(vertices.size());
   for (VertexId v : vertices) {
     if (cache != nullptr && cache->Contains(v)) continue;
-    ++misses;
-    ++block_active[v / rows_per_block];
+    miss_blocks.push_back(v / rows_per_block);
   }
+  const uint64_t misses = miss_blocks.size();
   stats.rows_from_cache = stats.rows_requested - misses;
+  std::sort(miss_blocks.begin(), miss_blocks.end());
 
-  for (const auto& [block, active] : block_active) {
-    (void)block;
+  for (size_t i = 0; i < miss_blocks.size();) {
+    size_t j = i;
+    while (j < miss_blocks.size() && miss_blocks[j] == miss_blocks[i]) ++j;
+    const uint64_t active = j - i;
+    i = j;
     const double ratio =
         static_cast<double>(active) / static_cast<double>(rows_per_block);
     if (ratio >= threshold_) {

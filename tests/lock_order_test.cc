@@ -1,0 +1,198 @@
+// Tests for the debug/sanitizer-build lock-order deadlock graph
+// (common/lock_order.h) wired into gnndm::Mutex. The graph is compiled
+// out of plain release builds; every behavioral test is guarded by
+// GNNDM_LOCK_ORDER_IS_ON() so this binary also builds (and trivially
+// passes) where the hooks are no-ops.
+#include "common/lock_order.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/annotations.h"
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace gnndm {
+namespace {
+
+#if GNNDM_LOCK_ORDER_IS_ON()
+
+TEST(LockOrderTest, ConsistentOrderRecordsEdgesWithoutAborting) {
+  lock_order::ResetForTest();
+  Mutex a("test.a"), b("test.b"), c("test.c");
+  // a -> b -> c, repeatedly: edges are recorded once, never fatal.
+  for (int i = 0; i < 3; ++i) {
+    a.Lock();
+    b.Lock();
+    c.Lock();
+    c.Unlock();
+    b.Unlock();
+    a.Unlock();
+  }
+  // a->b, b->c, a->c (c acquired while a and b are both held).
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 3);
+}
+
+TEST(LockOrderTest, SingleLockRecordsNothing) {
+  lock_order::ResetForTest();
+  Mutex a("test.single");
+  for (int i = 0; i < 10; ++i) {
+    MutexLock lock(a);
+  }
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 0);
+}
+
+TEST(LockOrderTest, DestroyedMutexForgetsItsEdges) {
+  lock_order::ResetForTest();
+  Mutex a("test.outer");
+  {
+    Mutex scoped("test.scoped");
+    a.Lock();
+    scoped.Lock();
+    scoped.Unlock();
+    a.Unlock();
+    EXPECT_EQ(lock_order::EdgeCountForTest(), 1);
+  }
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 0);
+  // A fresh mutex that reuses the scoped one's stack slot must not
+  // inherit its ordering: the reverse order is legal now.
+  Mutex fresh("test.fresh");
+  fresh.Lock();
+  a.Lock();
+  a.Unlock();
+  fresh.Unlock();
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 1);
+}
+
+TEST(LockOrderTest, OrdersEstablishedOnDifferentThreadsStillConflict) {
+  lock_order::ResetForTest();
+  Mutex a("test.thread_a"), b("test.thread_b");
+  // Thread 1 records a->b; the cycle check is cross-thread, so the
+  // main thread inherits the constraint (checked in the death test).
+  std::thread t([&] {
+    a.Lock();
+    b.Lock();
+    b.Unlock();
+    a.Unlock();
+  });
+  t.join();
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 1);
+}
+
+TEST(LockOrderTest, CondVarWaitKeepsHeldSetTruthful) {
+  lock_order::ResetForTest();
+  Mutex mu("test.cv_mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  mu.Lock();
+  while (!ready) cv.Wait(mu);
+  mu.Unlock();
+  waker.join();
+  // Waiting released and reacquired the only lock: no edges, no abort,
+  // and the held stack is empty again (a second plain lock succeeds).
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 0);
+  MutexLock relock(mu);
+}
+
+TEST(LockOrderTest, PoolAndParallelForRunCleanUnderTheGraph) {
+  lock_order::ResetForTest();
+  // The production lock sites (pool.mu, parallel.run_mu, the metrics
+  // registry, tracer buffers) must form a cycle-free graph end to end.
+  ThreadPool pool(4);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  std::atomic<int> sum{0};
+  ParallelFor(1 << 14, 64,
+              [&](size_t b, size_t e) {
+                sum.fetch_add(static_cast<int>(e - b),
+                              std::memory_order_relaxed);
+              });
+  EXPECT_EQ(sum.load(), 1 << 14);
+}
+
+TEST(LockOrderDeathTest, AbBaInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Same thread, sequentially: a->b then b->a. No actual deadlock can
+  // occur, yet the graph must abort on the inversion — that is the
+  // entire point of potential-deadlock detection.
+  EXPECT_DEATH(
+      {
+        lock_order::ResetForTest();
+        Mutex a("test.cycle_a");
+        Mutex b("test.cycle_b");
+        a.Lock();
+        b.Lock();
+        b.Unlock();
+        a.Unlock();
+        b.Lock();
+        a.Lock();  // closes the cycle: must abort before blocking
+        a.Unlock();
+        b.Unlock();
+      },
+      "lock-order cycle");
+}
+
+TEST(LockOrderDeathTest, ThreeLockCycleAbortsWithFullPath) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lock_order::ResetForTest();
+        Mutex a("test.ring_a");
+        Mutex b("test.ring_b");
+        Mutex c("test.ring_c");
+        a.Lock(); b.Lock(); b.Unlock(); a.Unlock();  // a->b
+        b.Lock(); c.Lock(); c.Unlock(); b.Unlock();  // b->c
+        c.Lock();
+        a.Lock();  // c->a closes a->b->c->a
+        a.Unlock();
+        c.Unlock();
+      },
+      "test.ring");
+}
+
+TEST(LockOrderDeathTest, CrossThreadInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lock_order::ResetForTest();
+        Mutex a("test.xthread_a");
+        Mutex b("test.xthread_b");
+        std::thread t([&] {
+          a.Lock();
+          b.Lock();
+          b.Unlock();
+          a.Unlock();
+        });
+        t.join();
+        b.Lock();
+        a.Lock();
+        a.Unlock();
+        b.Unlock();
+      },
+      "lock-order cycle");
+}
+
+#else  // !GNNDM_LOCK_ORDER_IS_ON()
+
+TEST(LockOrderTest, CompiledOutInRelease) {
+  // Hooks are no-ops: an inversion is (intentionally) not detected, and
+  // the graph stays empty. This asserts the zero-overhead contract.
+  Mutex a("test.a"), b("test.b");
+  a.Lock(); b.Lock(); b.Unlock(); a.Unlock();
+  b.Lock(); a.Lock(); a.Unlock(); b.Unlock();
+  EXPECT_EQ(lock_order::EdgeCountForTest(), 0);
+}
+
+#endif  // GNNDM_LOCK_ORDER_IS_ON()
+
+}  // namespace
+}  // namespace gnndm

@@ -122,14 +122,20 @@ TEST(MetisPartitionerTest, VeBalancesEdgesBetterThanV) {
     }
     return ImbalanceFactor(degree_sums);
   };
+  // Averaged over seeds: on any single seed both modes can land equally
+  // balanced (a coin-flip tie), but kV's edge imbalance has a fat tail
+  // (~1.6 on bad seeds) that the edge-weight constraint consistently
+  // rescues, so the means separate decisively.
   MetisPartitioner metis_v(MetisMode::kV);
   MetisPartitioner metis_ve(MetisMode::kVE);
-  double v_imbalance =
-      edge_imbalance(metis_v.Partition({graph, split}, 4, 6));
-  double ve_imbalance =
-      edge_imbalance(metis_ve.Partition({graph, split}, 4, 6));
-  EXPECT_LT(ve_imbalance, v_imbalance);
-  EXPECT_LT(ve_imbalance, 1.25);
+  double v_sum = 0.0, ve_sum = 0.0;
+  for (uint64_t seed = 4; seed <= 8; ++seed) {
+    v_sum += edge_imbalance(metis_v.Partition({graph, split}, 4, seed));
+    const double ve = edge_imbalance(metis_ve.Partition({graph, split}, 4, seed));
+    ve_sum += ve;
+    EXPECT_LT(ve, 1.25) << "seed " << seed;
+  }
+  EXPECT_LT(ve_sum, v_sum);
 }
 
 TEST(MetisPartitionerTest, VetBalancesValAndTest) {

@@ -9,6 +9,7 @@
 #include "sampling/layerwise_sampler.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/subgraph_sampler.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 namespace {
@@ -261,6 +262,57 @@ TEST(SubgraphSamplerTest, InducedEdgesStayInside) {
   for (uint32_t idx : layer.neighbors) {
     EXPECT_TRUE(inside.count(sg.node_ids[0][idx]) > 0);
   }
+}
+
+TEST(VertexRenumbererTest, BasicInsertFindReset) {
+  VertexRenumberer map;
+  map.Reset(100);
+  EXPECT_EQ(map.InsertOrGet(7, 0), (std::pair<uint32_t, bool>{0, true}));
+  EXPECT_EQ(map.InsertOrGet(42, 1), (std::pair<uint32_t, bool>{1, true}));
+  EXPECT_EQ(map.InsertOrGet(7, 2), (std::pair<uint32_t, bool>{0, false}));
+  EXPECT_EQ(map.Find(42), 1u);
+  EXPECT_EQ(map.Find(13), VertexRenumberer::kAbsent);
+  map.Reset(100);
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_EQ(map.Find(42), VertexRenumberer::kAbsent);
+}
+
+TEST(VertexRenumbererTest, EpochCounterWraparoundCannotAliasStaleStamps) {
+  VertexRenumberer map;
+  map.Reset(16);
+  // Drive the generation counter to its maximum and stamp a vertex at
+  // that generation — the worst-case stale stamp a wrap could alias.
+  map.set_epoch_for_testing(std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(map.Insert(3));
+  EXPECT_TRUE(map.Contains(3));
+
+  // The next Reset wraps the u32 counter. Without the refill-on-wrap,
+  // epoch would land where old stamps still match and vertex 3 (and any
+  // vertex last touched ~4 billion resets ago) would appear present in a
+  // generation that never inserted it.
+  map.Reset(16);
+  EXPECT_EQ(map.epoch_for_testing(), 1u);
+  EXPECT_FALSE(map.Contains(3));
+  EXPECT_EQ(map.Find(3), VertexRenumberer::kAbsent);
+
+  // The post-wrap generation behaves like a fresh map.
+  EXPECT_EQ(map.InsertOrGet(3, 0), (std::pair<uint32_t, bool>{0, true}));
+  EXPECT_EQ(map.InsertOrGet(3, 1), (std::pair<uint32_t, bool>{0, false}));
+  for (VertexId v = 0; v < 16; ++v) {
+    if (v != 3) EXPECT_FALSE(map.Contains(v)) << v;
+  }
+}
+
+TEST(VertexRenumbererTest, GrowsAcrossResetsKeepingGeneration) {
+  VertexRenumberer map;
+  map.Reset(4);
+  EXPECT_TRUE(map.Insert(2));
+  // A larger universe re-stamps nothing: the old ids are simply absent in
+  // the new generation and the new tail starts absent too.
+  map.Reset(32);
+  for (VertexId v = 0; v < 32; ++v) EXPECT_FALSE(map.Contains(v)) << v;
+  EXPECT_TRUE(map.Insert(31));
+  EXPECT_TRUE(map.Contains(31));
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+// Standalone RFC 8259 well-formedness check over JSON artifacts, built on
+// telemetry::JsonLint — the same checker that guards the tracer/metrics
+// writers. CI and ctest run it over every emitted BENCH_*.json so a
+// malformed bench artifact fails the suite instead of poisoning whatever
+// dashboard ingests it later.
+//
+// Usage: gnndm_jsonlint <file.json> [more.json ...]
+// Exits 0 if every file parses, 1 on the first unreadable or malformed
+// file (all files are still reported), 2 on usage error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/telemetry.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: gnndm_jsonlint <file.json> [...]\n");
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "gnndm_jsonlint: cannot open %s\n", argv[i]);
+      status = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const gnndm::Status s = gnndm::telemetry::JsonLint(buf.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "gnndm_jsonlint: %s: %s\n", argv[i],
+                   s.message().c_str());
+      status = 1;
+    } else {
+      std::printf("gnndm_jsonlint: %s: ok\n", argv[i]);
+    }
+  }
+  return status;
+}

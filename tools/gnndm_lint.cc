@@ -1,36 +1,58 @@
-// gnndm_lint — repo-specific static checks, registered as a ctest so a
+// gnndm_lint — repo-specific static analysis, registered as a ctest so a
 // violation fails the build. Usage:
 //
 //   $ gnndm_lint <repo_root>
 //
-// Rules (each reports file:line and a fix hint):
-//   include-guard         .h files use GNNDM_<PATH>_H_ guards
-//   raw-lock              std::mutex & friends only inside the annotated
-//                         wrappers (src/common/annotations.h); everything
-//                         else must use gnndm::Mutex / MutexLock / CondVar
-//                         so Clang Thread Safety Analysis sees it
-//   raw-thread            std::thread in src/ only in the audited
-//                         concurrency surfaces (ThreadPool, BatchSource)
-//   batch-plane           batch production stays unified behind
-//                         MakeBatchSource: src/ code outside
-//                         src/core/batch_source.{h,cc} must not name the
-//                         producer-thread implementation directly; mark
-//                         exceptions `// batch-plane-ok: <reason>`
-//   assert-in-cc          assert() in non-test .cc files — use GNNDM_DCHECK /
-//                         GNNDM_CHECK, which log and honor sanitizer builds
-//   deserialize-validate  .cc files that parse binary input must call a
-//                         Validate() routine on what they decoded
-//   raw-loop-kernel       nested (kernel-shaped) top-level loops in
-//                         src/tensor and src/nn must use ParallelFor or
-//                         carry a `// serial-ok: <reason>` marker
-//   raw-timer             direct WallTimer use in src/core, src/transfer,
-//                         src/sampling escapes the telemetry stage
-//                         breakdown; use TRACE_SPAN or mark the line
-//                         `// timer-ok: <reason>`
+// This is a *token-based* analyzer, not a line-regex scanner: every file
+// is lexed (line/block comments, string/char literals, and raw strings
+// handled correctly), so a banned construct mentioned in prose or inside
+// a string literal never trips a rule, and a real one can never hide
+// behind creative spacing.
+//
+// Suppressions. Any rule can be suppressed at a specific line with
+//
+//   // gnndm-lint: suppress(<rule-id>): <justification>
+//
+// placed on the offending line or the line above. The justification text
+// is mandatory (an empty one is itself a violation, `bad-suppression`),
+// and a suppression that matches no finding is reported as
+// `unused-suppression` so escapes cannot rot in place. The pre-existing
+// shorthand markers `serial-ok: <reason>`, `timer-ok: <reason>` and
+// `batch-plane-ok: <reason>` are equivalent to suppressing their rule.
+//
+// Rule catalogue (see DESIGN.md §11 for the full rationale):
+//   include-guard            .h files use GNNDM_<PATH>_H_ guards
+//   raw-lock                 std::mutex & friends only inside the
+//                            annotated wrappers (common/annotations.h)
+//                            and the lock-order detector beneath them
+//   raw-thread               std::thread in src/ only in the audited
+//                            concurrency surfaces (ThreadPool, BatchSource)
+//   batch-plane              batch production stays behind MakeBatchSource
+//   assert-in-cc             assert() in non-test .cc — use GNNDM_[D]CHECK
+//   deserialize-validate     binary parsers must Validate() what they read
+//   raw-loop-kernel          kernel-shaped loops in src/tensor, src/nn go
+//                            through ParallelFor
+//   raw-timer                src/core|transfer|sampling time work via
+//                            TRACE_SPAN, not ad-hoc WallTimers
+//   unordered-iteration      no range-for / .begin() iteration over
+//                            std::unordered_map/set in src/ — iteration
+//                            order is implementation-defined and leaks
+//                            straight into training output
+//   raw-rng                  rand()/srand()/clock()/time()/random_device
+//                            only inside src/common/rng.* — all other
+//                            randomness flows from a seeded gnndm::Rng
+//   thread-id-in-stats       std::this_thread::get_id() must not appear in
+//                            src/: values derived from thread identity are
+//                            schedule-dependent and poison stats/output
+//   float-accum-in-parallel  no `scalar_float +=` inside a ParallelFor
+//                            body: cross-chunk float accumulation order is
+//                            nondeterministic; use a per-chunk partial and
+//                            a deterministic reduction
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -40,60 +62,335 @@ namespace {
 
 namespace fs = std::filesystem;
 
-struct Violation {
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals
+  kString,   // "..." and R"(...)" (text excludes quotes)
+  kChar,     // '...'
+  kComment,  // // and /* */ (text excludes the delimiters)
+  kPunct,    // operators and punctuation, multi-char ops combined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;  // 1-based line of the token's first character
+};
+
+/// Multi-character operators the rules care about, longest first.
+const char* kMultiPunct[] = {"::", "+=", "-=", "->", "==", "!=", "<=",
+                             ">=", "&&", "||", "<<", ">>", "++", "--"};
+
+std::vector<Token> Lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0, line = 1;
+  const size_t n = src.size();
+  auto peek = [&](size_t off) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.push_back({TokKind::kComment, src.substr(start, i - start), line});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const size_t start_line = line;
+      size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.push_back(
+          {TokKind::kComment, src.substr(start, i - start), start_line});
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t d0 = i + 2;
+      size_t dp = d0;
+      while (dp < n && src[dp] != '(') ++dp;
+      const std::string delim = src.substr(d0, dp - d0);
+      const std::string close = ")" + delim + "\"";
+      const size_t start_line = line;
+      size_t body = dp + 1;
+      size_t end = src.find(close, body);
+      if (end == std::string::npos) end = n;
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.push_back(
+          {TokKind::kString, src.substr(body, end - body), start_line});
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t start = ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      out.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                     src.substr(start, i - start), line});
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    // Identifier.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ++i;
+      }
+      out.push_back({TokKind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (digits, hex, separators, exponents — precision is not
+    // needed, only that the blob is one non-identifier token).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation; combine the multi-char operators.
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      const size_t len = std::string(op).size();
+      if (src.compare(i, len, op) == 0) {
+        out.push_back({TokKind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File model, findings, suppressions
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel;                  // path relative to repo root
+  std::string contents;
+  std::vector<std::string> lines;   // raw source lines
+  std::vector<std::string> code;    // lines with comments/strings blanked
+  std::vector<Token> tokens;        // comment tokens included
+  bool is_header = false;
+  bool is_source = false;
+
+  bool InDir(const std::string& prefix) const {
+    return rel.rfind(prefix, 0) == 0;
+  }
+};
+
+struct Finding {
   std::string file;
   size_t line;  // 0 = whole-file
   std::string rule;
   std::string message;
 };
 
-std::vector<Violation> g_violations;
+struct Suppression {
+  size_t line;
+  std::string rule;
+  std::string justification;
+  bool legacy = false;  // serial-ok / timer-ok / batch-plane-ok shorthand
+  bool used = false;
+};
 
-void Report(const std::string& file, size_t line, const std::string& rule,
+std::vector<Finding> g_violations;
+
+void Report(const SourceFile& f, size_t line, const std::string& rule,
             const std::string& message) {
-  g_violations.push_back({file, line, rule, message});
+  g_violations.push_back({f.rel, line, rule, message});
 }
 
-/// Path relative to the repo root, with '/' separators.
-std::string RelPath(const fs::path& path, const fs::path& root) {
-  return fs::relative(path, root).generic_string();
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {
+      "include-guard",      "raw-lock",
+      "raw-thread",         "batch-plane",
+      "assert-in-cc",       "deserialize-validate",
+      "raw-loop-kernel",    "raw-timer",
+      "unordered-iteration", "raw-rng",
+      "thread-id-in-stats", "float-accum-in-parallel",
+  };
+  return kRules;
 }
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses every suppression comment in `f`. Malformed ones (unknown rule,
+/// missing justification) are reported immediately.
+std::vector<Suppression> CollectSuppressions(const SourceFile& f) {
+  std::vector<Suppression> out;
+  const std::map<std::string, std::string> kLegacy = {
+      {"serial-ok", "raw-loop-kernel"},
+      {"timer-ok", "raw-timer"},
+      {"batch-plane-ok", "batch-plane"},
+  };
+  for (const Token& tok : f.tokens) {
+    if (tok.kind != TokKind::kComment) continue;
+    const std::string& text = tok.text;
+    const size_t at = text.find("gnndm-lint:");
+    if (at != std::string::npos) {
+      const size_t sup = text.find("suppress", at);
+      const size_t open = text.find('(', at);
+      const size_t close = text.find(')', at);
+      if (sup == std::string::npos || open == std::string::npos ||
+          close == std::string::npos || close < open) {
+        Report(f, tok.line, "bad-suppression",
+               "malformed suppression; expected 'gnndm-lint: "
+               "suppress(<rule-id>): <justification>'");
+        continue;
+      }
+      const std::string rule = Trim(text.substr(open + 1, close - open - 1));
+      if (KnownRules().count(rule) == 0) {
+        Report(f, tok.line, "bad-suppression",
+               "suppression names unknown rule '" + rule + "'");
+        continue;
+      }
+      const size_t colon = text.find(':', close);
+      const std::string just =
+          colon == std::string::npos ? "" : Trim(text.substr(colon + 1));
+      if (just.empty()) {
+        Report(f, tok.line, "bad-suppression",
+               "suppression of '" + rule +
+                   "' carries no justification; write 'gnndm-lint: "
+                   "suppress(" + rule + "): <why this is safe>'");
+        continue;
+      }
+      out.push_back({tok.line, rule, just, /*legacy=*/false, false});
+      continue;
+    }
+    for (const auto& [marker, rule] : kLegacy) {
+      const size_t pos = text.find(marker);
+      if (pos == std::string::npos) continue;
+      // Require a word boundary so e.g. "not serial-ok" in prose with a
+      // preceding identifier char doesn't count; markers start the
+      // escape grammar with "<marker>:".
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                          text[pos - 1])) ||
+                      text[pos - 1] == '-' || text[pos - 1] == '_')) {
+        continue;
+      }
+      const size_t colon = pos + marker.size();
+      if (colon >= text.size() || text[colon] != ':') continue;
+      const std::string just = Trim(text.substr(colon + 1));
+      if (just.empty()) {
+        Report(f, tok.line, "bad-suppression",
+               "'" + marker + "' marker carries no justification text");
+        continue;
+      }
+      out.push_back({tok.line, rule, just, /*legacy=*/true, false});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// Code tokens only (comments dropped), with an index back into them.
+std::vector<const Token*> CodeTokens(const SourceFile& f) {
+  std::vector<const Token*> out;
+  out.reserve(f.tokens.size());
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::kComment) out.push_back(&t);
+  }
+  return out;
+}
+
+bool IsIdent(const Token* t, const char* text) {
+  return t->kind == TokKind::kIdent && t->text == text;
+}
+
+bool IsPunct(const Token* t, const char* text) {
+  return t->kind == TokKind::kPunct && t->text == text;
+}
+
+/// True if toks[i..] begins the qualified sequence std::<name>.
+bool IsStdQualified(const std::vector<const Token*>& toks, size_t i,
+                    const char* name) {
+  return i + 2 < toks.size() && IsIdent(toks[i], "std") &&
+         IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2], name);
+}
+
+/// Given toks[i] == "<", returns the index one past the matching ">".
+/// The lexer emits ">>" as one token; it closes two levels.
+size_t SkipTemplateArgs(const std::vector<const Token*>& toks, size_t i) {
+  long depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "<")) ++depth;
+    if (IsPunct(toks[i], ">")) --depth;
+    if (IsPunct(toks[i], ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-/// Strips // comments so tokens mentioned in prose don't trip the rules.
-std::string StripLineComment(const std::string& line) {
-  size_t pos = line.find("//");
-  return pos == std::string::npos ? line : line.substr(0, pos);
-}
-
-/// True if `token` occurs in `haystack` not preceded by an identifier
-/// character (rejects e.g. static_assert when searching for assert().
-bool ContainsToken(const std::string& haystack, const std::string& token) {
-  size_t pos = 0;
-  while ((pos = haystack.find(token, pos)) != std::string::npos) {
-    const bool boundary =
-        pos == 0 || (!std::isalnum(static_cast<unsigned char>(
-                         haystack[pos - 1])) &&
-                     haystack[pos - 1] != '_');
-    if (boundary) return true;
-    pos += token.size();
-  }
-  return false;
-}
-
 /// GNNDM_<PATH>_H_ with the leading src/ stripped, matching the existing
-/// style: src/common/status.h -> GNNDM_COMMON_STATUS_H_ and
-/// bench/bench_util.h -> GNNDM_BENCH_BENCH_UTIL_H_.
+/// style: src/common/status.h -> GNNDM_COMMON_STATUS_H_.
 std::string ExpectedGuard(const std::string& rel) {
   std::string trimmed = StartsWith(rel, "src/") ? rel.substr(4) : rel;
   std::string guard = "GNNDM_";
   for (char c : trimmed) {
     if (std::isalnum(static_cast<unsigned char>(c))) {
-      guard += static_cast<char>(
-          std::toupper(static_cast<unsigned char>(c)));
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
     } else {
       guard += '_';
     }
@@ -102,21 +399,16 @@ std::string ExpectedGuard(const std::string& rel) {
   return guard;
 }
 
-void CheckIncludeGuard(const std::string& rel,
-                       const std::vector<std::string>& lines) {
-  const std::string guard = ExpectedGuard(rel);
+void CheckIncludeGuard(const SourceFile& f) {
+  if (!f.is_header) return;
+  const std::string guard = ExpectedGuard(f.rel);
   bool has_ifndef = false, has_define = false;
-  for (const auto& line : lines) {
-    if (line.find("#ifndef " + guard) != std::string::npos) {
-      has_ifndef = true;
-    }
-    if (line.find("#define " + guard) != std::string::npos) {
-      has_define = true;
-    }
+  for (const auto& line : f.lines) {
+    if (line.find("#ifndef " + guard) != std::string::npos) has_ifndef = true;
+    if (line.find("#define " + guard) != std::string::npos) has_define = true;
   }
   if (!has_ifndef || !has_define) {
-    Report(rel, 0, "include-guard",
-           "header must use include guard " + guard);
+    Report(f, 0, "include-guard", "header must use include guard " + guard);
   }
 }
 
@@ -130,27 +422,36 @@ const std::set<std::string> kThreadAllowlist = {
     "src/core/batch_source.h", "src/core/batch_source.cc",
 };
 
-void CheckConcurrencyPrimitives(const std::string& rel,
-                                const std::vector<std::string>& lines) {
-  if (rel == "src/common/annotations.h") return;  // the wrapper itself
-  static const char* kLockTokens[] = {
-      "std::mutex",       "std::condition_variable", "std::lock_guard",
-      "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
+void CheckConcurrencyPrimitives(const SourceFile& f,
+                                const std::vector<const Token*>& toks) {
+  // The wrapper itself, and the lock-order detector that sits beneath it
+  // (which must use the raw std::mutex to avoid recursing into its own
+  // hooks), are the only legal homes for the raw primitives.
+  if (f.rel == "src/common/annotations.h" ||
+      f.rel == "src/common/lock_order.h" ||
+      f.rel == "src/common/lock_order.cc") {
+    return;
+  }
+  static const char* kLockNames[] = {
+      "mutex",       "condition_variable", "lock_guard",
+      "unique_lock", "scoped_lock",        "shared_mutex",
+      "recursive_mutex", "timed_mutex",    "condition_variable_any",
   };
   const bool thread_allowed =
-      !StartsWith(rel, "src/") || kThreadAllowlist.count(rel) > 0;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = StripLineComment(lines[i]);
-    for (const char* token : kLockTokens) {
-      if (ContainsToken(code, token)) {
-        Report(rel, i + 1, "raw-lock",
-               std::string(token) +
-                   " bypasses thread-safety analysis; use gnndm::Mutex / "
-                   "MutexLock / CondVar from common/annotations.h");
+      !f.InDir("src/") || kThreadAllowlist.count(f.rel) > 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "std")) continue;
+    for (const char* name : kLockNames) {
+      if (IsStdQualified(toks, i, name)) {
+        Report(f, toks[i]->line, "raw-lock",
+               "std::" + std::string(name) +
+                   " bypasses thread-safety analysis and the lock-order "
+                   "graph; use gnndm::Mutex / MutexLock / CondVar from "
+                   "common/annotations.h");
       }
     }
-    if (!thread_allowed && ContainsToken(code, "std::thread")) {
-      Report(rel, i + 1, "raw-thread",
+    if (!thread_allowed && IsStdQualified(toks, i, "thread")) {
+      Report(f, toks[i]->line, "raw-thread",
              "std::thread outside the audited concurrency surfaces; "
              "use ThreadPool or add the file to the lint allowlist "
              "after annotating its shared state");
@@ -158,7 +459,65 @@ void CheckConcurrencyPrimitives(const std::string& rel,
   }
 }
 
-/// True if `line` is `for` at an indent of at least `min_indent` spaces.
+/// Batch production is unified behind the BatchSource plane: src/ code
+/// outside src/core/batch_source.{h,cc} must not name the producer-thread
+/// implementation (AsyncBatchSource) or the retired AsyncBatchLoader.
+void CheckBatchPlane(const SourceFile& f,
+                     const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/")) return;
+  if (f.rel == "src/core/batch_source.h" ||
+      f.rel == "src/core/batch_source.cc") {
+    return;
+  }
+  for (const Token* t : toks) {
+    if (IsIdent(t, "AsyncBatchSource") || IsIdent(t, "AsyncBatchLoader")) {
+      Report(f, t->line, "batch-plane",
+             t->text +
+                 " outside src/core/batch_source.{h,cc} fragments the "
+                 "batch data plane; go through MakeBatchSource");
+    }
+  }
+}
+
+void CheckAssert(const SourceFile& f, const std::vector<const Token*>& toks) {
+  if (!f.is_source || f.InDir("tests/")) return;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "assert") && IsPunct(toks[i + 1], "(")) {
+      Report(f, toks[i]->line, "assert-in-cc",
+             "assert() in non-test code vanishes under -DNDEBUG without "
+             "trace; use GNNDM_DCHECK (debug) or GNNDM_CHECK (always)");
+    }
+  }
+}
+
+void CheckDeserializationValidates(const SourceFile& f,
+                                   const std::vector<const Token*>& toks) {
+  if (!f.is_source || !f.InDir("src/")) return;
+  bool reads_binary = false, has_ifstream = false, has_validate = false;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (IsIdent(toks[i], "binary") && i >= 2 && IsPunct(toks[i - 1], "::") &&
+        IsIdent(toks[i - 2], "ios")) {
+      reads_binary = true;
+    }
+    if (toks[i]->kind == TokKind::kIdent &&
+        toks[i]->text.find("ifstream") != std::string::npos) {
+      has_ifstream = true;
+    }
+    // Any Validate* call counts (Validate, ValidateLoadedTensor, ...);
+    // comments mentioning validation do not — tokens only.
+    if (toks[i]->kind == TokKind::kIdent &&
+        toks[i]->text.rfind("Validate", 0) == 0) {
+      has_validate = true;
+    }
+  }
+  if (reads_binary && has_ifstream && !has_validate) {
+    Report(f, 0, "deserialize-validate",
+           "binary deserializer must run a Validate() pass over the "
+           "decoded structures before returning them");
+  }
+}
+
+/// True if `line` is `for (` at an indent of at least `min_indent` spaces.
 bool IsForAtIndent(const std::string& line, size_t min_indent) {
   size_t p = 0;
   while (p < line.size() && line[p] == ' ') ++p;
@@ -166,40 +525,30 @@ bool IsForAtIndent(const std::string& line, size_t min_indent) {
 }
 
 /// Hot-kernel loops in src/tensor and src/nn must go through the
-/// ParallelFor work-sharing layer (common/parallel_for.h). The heuristic:
-/// a function-top-level `for` (exactly 2-space indent in this codebase)
-/// that contains a nested loop is a kernel-shaped loop; it must either be
-/// a ParallelFor body (those sit deeper inside a lambda and are never at
-/// indent 2) or carry a `// serial-ok: <reason>` marker on the same line
-/// or the line above. Single-level structural loops (over layers, over
-/// parameters) are exempt.
-void CheckRawLoopKernels(const std::string& rel,
-                         const std::vector<std::string>& lines) {
-  if (!StartsWith(rel, "src/tensor/") && !StartsWith(rel, "src/nn/")) {
+/// ParallelFor work-sharing layer. Heuristic: a function-top-level `for`
+/// (exactly 2-space indent in this codebase) containing a nested loop is
+/// kernel-shaped. Operates on comment/string-blanked `code` lines.
+void CheckRawLoopKernels(const SourceFile& f) {
+  if (!f.is_source ||
+      (!f.InDir("src/tensor/") && !f.InDir("src/nn/"))) {
     return;
   }
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].rfind("  for (", 0) != 0 || lines[i][2] != 'f') continue;
-    // Walk the loop body by brace depth; a one-line `for (...) stmt;`
-    // has no braces and cannot nest.
+  const std::vector<std::string>& code = f.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].rfind("  for (", 0) != 0 || code[i][2] != 'f') continue;
     long depth = 0;
     bool nested = false;
-    for (size_t j = i; j < lines.size(); ++j) {
-      const std::string code = StripLineComment(lines[j]);
-      if (j > i && IsForAtIndent(code, 4)) nested = true;
-      for (char c : code) {
+    for (size_t j = i; j < code.size(); ++j) {
+      if (j > i && IsForAtIndent(code[j], 4)) nested = true;
+      for (char c : code[j]) {
         if (c == '{') ++depth;
         if (c == '}') --depth;
       }
       if (j > i && depth <= 0) break;
       if (j == i && depth == 0) break;  // braceless one-liner
     }
-    if (!nested) continue;
-    const bool marked =
-        lines[i].find("serial-ok") != std::string::npos ||
-        (i > 0 && lines[i - 1].find("serial-ok") != std::string::npos);
-    if (!marked) {
-      Report(rel, i + 1, "raw-loop-kernel",
+    if (nested) {
+      Report(f, i + 1, "raw-loop-kernel",
              "nested loop in a tensor/nn kernel bypasses ParallelFor "
              "(common/parallel_for.h); parallelize it or mark it "
              "'// serial-ok: <reason>'");
@@ -207,59 +556,19 @@ void CheckRawLoopKernels(const std::string& rel,
   }
 }
 
-/// Batch production is unified behind the BatchSource plane: src/ code
-/// outside src/core/batch_source.{h,cc} must not name the producer-thread
-/// implementation (AsyncBatchSource) or the retired AsyncBatchLoader —
-/// construct through MakeBatchSource so inline and async stay freely
-/// interchangeable. Tests and benches may probe the concrete types.
-/// Escape marker: `// batch-plane-ok: <reason>` on the line or the line
-/// above.
-void CheckBatchPlane(const std::string& rel,
-                     const std::vector<std::string>& lines) {
-  if (!StartsWith(rel, "src/")) return;
-  if (rel == "src/core/batch_source.h" ||
-      rel == "src/core/batch_source.cc") {
-    return;
-  }
-  static const char* kPlaneTokens[] = {"AsyncBatchSource",
-                                       "AsyncBatchLoader"};
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = StripLineComment(lines[i]);
-    for (const char* token : kPlaneTokens) {
-      if (!ContainsToken(code, token)) continue;
-      const bool marked =
-          lines[i].find("batch-plane-ok") != std::string::npos ||
-          (i > 0 && lines[i - 1].find("batch-plane-ok") != std::string::npos);
-      if (!marked) {
-        Report(rel, i + 1, "batch-plane",
-               std::string(token) +
-                   " outside src/core/batch_source.{h,cc} fragments the "
-                   "batch data plane; go through MakeBatchSource or mark "
-                   "the line '// batch-plane-ok: <reason>'");
-      }
-    }
-  }
-}
-
 /// The pipeline-stage directories must not time work outside the span
 /// tracer: a raw WallTimer there produces numbers telemetry (and the
-/// EpochStats reconciliation test) cannot see. Legitimate non-stage
-/// timing (condvar waits, ad-hoc probes) carries `// timer-ok: <reason>`
-/// on the same line or the line above.
-void CheckTimerUse(const std::string& rel,
-                   const std::vector<std::string>& lines) {
-  if (!StartsWith(rel, "src/core/") && !StartsWith(rel, "src/transfer/") &&
-      !StartsWith(rel, "src/sampling/")) {
+/// EpochStats reconciliation test) cannot see.
+void CheckTimerUse(const SourceFile& f,
+                   const std::vector<const Token*>& toks) {
+  if (!f.is_source ||
+      (!f.InDir("src/core/") && !f.InDir("src/transfer/") &&
+       !f.InDir("src/sampling/"))) {
     return;
   }
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = StripLineComment(lines[i]);
-    if (!ContainsToken(code, "WallTimer")) continue;
-    const bool marked =
-        lines[i].find("timer-ok") != std::string::npos ||
-        (i > 0 && lines[i - 1].find("timer-ok") != std::string::npos);
-    if (!marked) {
-      Report(rel, i + 1, "raw-timer",
+  for (const Token* t : toks) {
+    if (IsIdent(t, "WallTimer")) {
+      Report(f, t->line, "raw-timer",
              "direct WallTimer in a pipeline-stage directory escapes the "
              "telemetry breakdown; use TRACE_SPAN(\"subsystem.name\") or "
              "mark the line '// timer-ok: <reason>'");
@@ -267,56 +576,329 @@ void CheckTimerUse(const std::string& rel,
   }
 }
 
-void CheckAssert(const std::string& rel,
-                 const std::vector<std::string>& lines) {
-  if (StartsWith(rel, "tests/")) return;  // gtest code may use assertions
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = StripLineComment(lines[i]);
-    if (ContainsToken(code, "assert(")) {
-      Report(rel, i + 1, "assert-in-cc",
-             "assert() in non-test code vanishes under -DNDEBUG without "
-             "trace; use GNNDM_DCHECK (debug) or GNNDM_CHECK (always)");
+/// Names declared (anywhere in `f`) with an unordered container type,
+/// including via std::vector<std::unordered_*<...>>. Token heuristic: an
+/// `unordered_map`/`unordered_set` identifier, skip its template args,
+/// skip trailing type syntax (`>`, `>>`, `&`, `*`, `const`), and take the
+/// next identifier as the declared name. Over-approximates (a function
+/// returning an unordered container is collected too) — which is correct
+/// here, because iterating such a return value is just as order-unstable.
+std::set<std::string> UnorderedNames(const std::vector<const Token*>& toks) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "unordered_map") &&
+        !IsIdent(toks[i], "unordered_set")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j < toks.size() && IsPunct(toks[j], "<")) {
+      j = SkipTemplateArgs(toks, j);
+    }
+    while (j < toks.size() &&
+           (IsPunct(toks[j], ">") || IsPunct(toks[j], ">>") ||
+            IsPunct(toks[j], "&") || IsPunct(toks[j], "*") ||
+            IsIdent(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j]->kind == TokKind::kIdent) {
+      names.insert(toks[j]->text);
+    }
+  }
+  return names;
+}
+
+/// Determinism rule: iteration over std::unordered_map/unordered_set in
+/// src/ — the iteration order is implementation-defined (libstdc++,
+/// libc++, and different bucket counts all disagree), so any traversal
+/// feeding computation or output is a reproducibility bug waiting for a
+/// toolchain bump. Flags (a) range-for statements whose range expression
+/// names an unordered container, and (b) explicit .begin()/.end() family
+/// calls on one.
+void CheckUnorderedIteration(const SourceFile& f,
+                             const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/")) return;
+  const std::set<std::string> names = UnorderedNames(toks);
+  if (names.empty()) return;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // (a) for ( ... : <expr naming an unordered var> )
+    if (IsIdent(toks[i], "for") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      long depth = 0;
+      size_t colon = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")") && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (depth == 1 && colon == 0 && IsPunct(toks[j], ":")) colon = j;
+      }
+      if (colon != 0 && close != 0) {
+        for (size_t j = colon + 1; j < close; ++j) {
+          if (toks[j]->kind == TokKind::kIdent &&
+              names.count(toks[j]->text) > 0) {
+            Report(f, toks[i]->line, "unordered-iteration",
+                   "range-for over unordered container '" + toks[j]->text +
+                       "': iteration order is implementation-defined and "
+                       "breaks byte-identical output; sort the keys or "
+                       "keep a parallel insertion-order vector");
+            break;
+          }
+        }
+      }
+    }
+    // (b) <unordered var> [...].begin() / .cbegin() — the start of an
+    // explicit iterator traversal. A bare .end() is not flagged: it is
+    // almost always the `find() != end()` membership idiom. A member
+    // access `other.name.begin()` is skipped too — the collected names
+    // are file-local declarations, not members of foreign structs.
+    if (toks[i]->kind == TokKind::kIdent && names.count(toks[i]->text) > 0 &&
+        !(i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")))) {
+      size_t j = i + 1;
+      while (j + 1 < toks.size() && IsPunct(toks[j], "[")) {
+        long depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (IsPunct(toks[j], "[")) ++depth;
+          if (IsPunct(toks[j], "]") && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j + 1 < toks.size() && IsPunct(toks[j], ".") &&
+          (IsIdent(toks[j + 1], "begin") ||
+           IsIdent(toks[j + 1], "cbegin"))) {
+        Report(f, toks[i]->line, "unordered-iteration",
+               "iterator traversal of unordered container '" +
+                   toks[i]->text +
+                   "' is order-unstable; sort the keys first");
+      }
     }
   }
 }
 
-void CheckDeserializationValidates(const std::string& rel,
-                                   const std::string& contents) {
-  if (!StartsWith(rel, "src/")) return;
-  const bool reads_binary =
-      contents.find("std::ios::binary") != std::string::npos &&
-      contents.find("ifstream") != std::string::npos;
-  if (reads_binary && contents.find("Validate") == std::string::npos) {
-    Report(rel, 0, "deserialize-validate",
-           "binary deserializer must run a Validate() pass over the "
-           "decoded structures before returning them");
+/// Determinism rule: every random draw flows from a seeded gnndm::Rng.
+/// rand()/srand()/clock()/time() and std::random_device are either
+/// schedule-, wall-clock-, or entropy-dependent; a single call anywhere
+/// on a training path silently breaks run-to-run reproducibility.
+void CheckRawRng(const SourceFile& f, const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/") && !f.InDir("tools/") && !f.InDir("bench/")) return;
+  if (f.rel == "src/common/rng.h" || f.rel == "src/common/rng.cc") return;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token* t = toks[i];
+    if (t->kind != TokKind::kIdent) continue;
+    if (IsIdent(t, "random_device")) {
+      Report(f, t->line, "raw-rng",
+             "std::random_device draws nondeterministic entropy; seed a "
+             "gnndm::Rng (common/rng.h) instead");
+      continue;
+    }
+    const bool call_like =
+        i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if (!call_like) continue;
+    const bool member = i > 0 && (IsPunct(toks[i - 1], ".") ||
+                                  IsPunct(toks[i - 1], "->"));
+    if (member) continue;  // foo.time() is not ::time()
+    if (IsIdent(t, "rand") || IsIdent(t, "srand") || IsIdent(t, "time") ||
+        IsIdent(t, "clock")) {
+      Report(f, t->line, "raw-rng",
+             t->text +
+                 "() is wall-clock/entropy-dependent; all randomness and "
+                 "timing must flow from gnndm::Rng seeds or the telemetry "
+                 "clocks");
+    }
   }
 }
 
+/// Determinism rule: values derived from std::this_thread::get_id() are
+/// pure scheduling artifacts. The telemetry layer identifies threads by
+/// registration order (stable per run shape); nothing else may key state
+/// or stats off a thread id.
+void CheckThreadIdInStats(const SourceFile& f,
+                          const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/")) return;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (IsIdent(toks[i], "get_id") && i >= 2 &&
+        IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "this_thread")) {
+      Report(f, toks[i]->line, "thread-id-in-stats",
+             "std::this_thread::get_id() is schedule-dependent; key "
+             "per-thread state off registration order (see "
+             "telemetry::Tracer) so stats stay deterministic");
+    }
+  }
+}
+
+/// Names declared as scalar float/double variables: `double x =`,
+/// `float y;`, `double z{...}`. Parameters and members are excluded by
+/// requiring an initializer or plain `;` so the rule stays precise.
+std::set<std::string> ScalarFloatNames(const std::vector<const Token*>& toks,
+                                       size_t begin, size_t end) {
+  std::set<std::string> names;
+  if (end > toks.size()) end = toks.size();
+  for (size_t i = begin; i + 2 < end; ++i) {
+    if (!IsIdent(toks[i], "double") && !IsIdent(toks[i], "float")) continue;
+    const Token* name = toks[i + 1];
+    const Token* next = toks[i + 2];
+    if (name->kind != TokKind::kIdent) continue;
+    if (IsPunct(next, "=") || IsPunct(next, ";") || IsPunct(next, "{")) {
+      names.insert(name->text);
+    }
+  }
+  return names;
+}
+
+/// Determinism rule: accumulating into a shared scalar float inside a
+/// ParallelFor body sums chunks in completion order — a different order
+/// (and different rounding) every run, and usually a data race besides.
+/// Element-wise updates (`out[i] += x`, `dst.row(r)[c] += v`) are fine:
+/// each element is owned by exactly one chunk. Deterministic escape: keep
+/// per-chunk partials and reduce in index order, then suppress with
+/// `gnndm-lint: suppress(float-accum-in-parallel): <why ordered>`.
+void CheckFloatAccumInParallel(const SourceFile& f,
+                               const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/")) return;
+  const std::set<std::string> floats =
+      ScalarFloatNames(toks, 0, toks.size());
+  if (floats.empty()) return;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "ParallelFor") &&
+        !IsIdent(toks[i], "ParallelFor2D") &&
+        !IsIdent(toks[i], "ParallelForShards")) {
+      continue;
+    }
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    long depth = 0;
+    size_t end = toks.size();
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], "(")) ++depth;
+      if (IsPunct(toks[j], ")") && --depth == 0) {
+        end = j;
+        break;
+      }
+    }
+    // A float declared *inside* the call extent (a lambda-body local) is
+    // chunk-private: each invocation owns its own copy, so accumulating
+    // into it is a deterministic per-chunk partial, not a shared sum.
+    const std::set<std::string> extent_locals =
+        ScalarFloatNames(toks, i + 2, end);
+    for (size_t j = i + 2; j < end; ++j) {
+      if (!IsPunct(toks[j], "+=") && !IsPunct(toks[j], "-=")) continue;
+      const Token* lhs = toks[j - 1];
+      if (lhs->kind != TokKind::kIdent || floats.count(lhs->text) == 0 ||
+          extent_locals.count(lhs->text) > 0) {
+        continue;
+      }
+      // `x[k] += v` and `p->x += v` are element/field updates, not shared
+      // scalar accumulation; require the identifier to stand alone.
+      if (j >= 2 && (IsPunct(toks[j - 2], "]") || IsPunct(toks[j - 2], ".") ||
+                     IsPunct(toks[j - 2], "->"))) {
+        continue;
+      }
+      Report(f, lhs->line, "float-accum-in-parallel",
+             "accumulation into shared float '" + lhs->text +
+                 "' inside a ParallelFor body sums in completion order "
+                 "(nondeterministic rounding, likely racy); keep "
+                 "per-chunk partials and reduce in index order");
+    }
+    i = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Source lines with comments and string/char literal bodies blanked,
+/// reconstructed from the token stream (used by line-shape heuristics).
+std::vector<std::string> BlankedLines(const SourceFile& f) {
+  std::vector<std::string> code = f.lines;
+  // Blank everything, then re-project non-comment/non-string tokens that
+  // fit on a single line. Multi-line tokens (block comments, raw
+  // strings) simply stay blank — exactly what the heuristics want.
+  for (auto& line : code) line.assign(line.size(), ' ');
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kComment || t.kind == TokKind::kString ||
+        t.kind == TokKind::kChar) {
+      continue;
+    }
+    if (t.line == 0 || t.line > f.lines.size()) continue;
+    const std::string& orig = f.lines[t.line - 1];
+    const size_t at = orig.find(t.text);
+    if (at != std::string::npos && at + t.text.size() <= code[t.line - 1].size()) {
+      code[t.line - 1].replace(at, t.text.size(), t.text);
+    }
+  }
+  return code;
+}
+
 void LintFile(const fs::path& path, const fs::path& root) {
-  const std::string rel = RelPath(path, root);
-  // The linter's own rule strings contain every banned token.
-  if (rel == "tools/gnndm_lint.cc") return;
+  SourceFile f;
+  f.rel = fs::relative(path, root).generic_string();
+  // The linter's own sources discuss the suppression grammar and rule
+  // tokens in doc comments; it does not lint itself.
+  if (f.rel == "tools/gnndm_lint.cc") return;
+
   std::ifstream in(path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const std::string contents = buffer.str();
+  f.contents = buffer.str();
+  {
+    std::string line;
+    std::istringstream stream(f.contents);
+    while (std::getline(stream, line)) f.lines.push_back(line);
+  }
+  f.tokens = Lex(f.contents);
+  f.code = BlankedLines(f);
+  f.is_header = path.extension() == ".h";
+  f.is_source = path.extension() == ".cc";
 
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream stream(contents);
-  while (std::getline(stream, line)) lines.push_back(line);
+  const std::vector<const Token*> toks = CodeTokens(f);
+  std::vector<Suppression> suppressions = CollectSuppressions(f);
 
-  const bool is_header = path.extension() == ".h";
-  const bool is_source = path.extension() == ".cc";
-  if (is_header) CheckIncludeGuard(rel, lines);
-  CheckConcurrencyPrimitives(rel, lines);
-  CheckBatchPlane(rel, lines);
-  if (is_source) {
-    CheckAssert(rel, lines);
-    CheckDeserializationValidates(rel, contents);
-    CheckRawLoopKernels(rel, lines);
-    CheckTimerUse(rel, lines);
+  const size_t before = g_violations.size();
+  CheckIncludeGuard(f);
+  CheckConcurrencyPrimitives(f, toks);
+  CheckBatchPlane(f, toks);
+  CheckAssert(f, toks);
+  CheckDeserializationValidates(f, toks);
+  CheckRawLoopKernels(f);
+  CheckTimerUse(f, toks);
+  CheckUnorderedIteration(f, toks);
+  CheckRawRng(f, toks);
+  CheckThreadIdInStats(f, toks);
+  CheckFloatAccumInParallel(f, toks);
+
+  // Apply suppressions: a finding is covered by a matching-rule
+  // suppression on its line or the line above.
+  std::vector<Finding> kept(g_violations.begin(),
+                            g_violations.begin() +
+                                static_cast<long>(before));
+  for (size_t i = before; i < g_violations.size(); ++i) {
+    Finding& v = g_violations[i];
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.rule == v.rule &&
+          (s.line == v.line || s.line + 1 == v.line)) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(v);
+  }
+  g_violations = std::move(kept);
+
+  // A suppression nothing needed is dead weight — or a typo'd line that
+  // is silently letting the real finding through. Legacy markers are
+  // held to the same standard.
+  for (const Suppression& s : suppressions) {
+    if (!s.used) {
+      Report(f, s.line, "unused-suppression",
+             "suppression of '" + s.rule +
+                 "' matches no finding on this or the next line; delete "
+                 "it or move it to the offending line");
+    }
   }
 }
 
