@@ -9,11 +9,17 @@
 //                           [--max_epochs=60]
 #include <algorithm>
 
-#include "bench_util.h"
-#include "common/table.h"
 #include "batch/batch_selector.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/convergence.h"
 #include "core/full_batch.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 namespace {

@@ -5,10 +5,14 @@
 //
 // Usage: ablation_metis [--datasets=reddit_s] [--parts=4]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "graph/stats.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 
 namespace gnndm {
 namespace {

@@ -11,10 +11,14 @@
 
 #include "batch/batch_selector.h"
 #include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
 #include "common/table.h"
+#include "graph/dataset.h"
 #include "sampling/layerwise_sampler.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/randomwalk_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "sampling/subgraph_sampler.h"
 
 namespace gnndm {

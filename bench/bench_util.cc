@@ -4,12 +4,16 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/flags.h"
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/table.h"
 #include "common/telemetry.h"
 #include "core/convergence.h"
+#include "graph/dataset.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
 
 namespace gnndm {

@@ -8,8 +8,11 @@
 #include <string>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

@@ -6,8 +6,11 @@
 //
 // Usage: fig04_comp_load [--datasets=reddit_s,products_s] [--parts=4]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "graph/dataset.h"
 #include "partition/analyzer.h"
+#include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"
 
 namespace gnndm {

@@ -6,9 +6,14 @@
 // Usage: fig06_part_time [--datasets=arxiv_s,reddit_s] [--parts=4]
 //                        [--max_epochs=15]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "core/trainer.h"
 #include "dist/dist_trainer.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

@@ -10,8 +10,14 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "core/convergence.h"
+#include "core/trainer.h"
 #include "dist/dist_trainer.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

@@ -6,8 +6,13 @@
 // Usage: fig08_epoch_time [--datasets=reddit_s,products_s] [--parts=4]
 //                         [--epochs=3]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "core/trainer.h"
 #include "dist/dist_trainer.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

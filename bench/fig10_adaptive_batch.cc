@@ -10,8 +10,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "core/convergence.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

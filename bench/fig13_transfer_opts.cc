@@ -7,8 +7,12 @@
 // Usage: fig13_transfer_opts
 //   [--datasets=livejournal_s,ljlarge_s,ljlinks_s,enwiki_s] [--epochs=2]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {

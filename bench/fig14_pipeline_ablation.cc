@@ -6,8 +6,12 @@
 // Usage: fig14_pipeline_ablation [--datasets=livejournal_s,ljlinks_s]
 //                                [--epochs=2]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {

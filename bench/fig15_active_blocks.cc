@@ -11,8 +11,13 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
 #include "common/table.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "transfer/block_activity.h"
 #include "transfer/feature_cache.h"
 

@@ -5,11 +5,15 @@
 // pre-sampling clearly wins on the degree-uniform graph (§7.3.3).
 //
 // Usage: fig17_cache_policy [--datasets=amazon_s,papers_s] [--epochs=1]
-#include "bench_util.h"
-#include "common/table.h"
 #include "batch/batch_selector.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "transfer/feature_cache.h"
 
 namespace gnndm {

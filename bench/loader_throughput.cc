@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "batch/batch_selector.h"
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
@@ -30,8 +31,9 @@
 #include "common/telemetry.h"
 #include "common/timer.h"
 #include "core/batch_source.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "sampling/neighbor_sampler.h"
-#include "bench_util.h"
 
 namespace gnndm {
 namespace {

@@ -28,6 +28,7 @@
 #include "common/table.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "nn/aggregate.h"
 #include "sampling/sampled_subgraph.h"

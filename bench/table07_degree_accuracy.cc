@@ -5,8 +5,11 @@
 //
 // Usage: table07_degree_accuracy [--datasets=arxiv_s] [--max_epochs=30]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

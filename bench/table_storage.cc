@@ -8,9 +8,12 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "graph/dataset.h"
 #include "partition/analyzer.h"
 #include "partition/edge_partitioner.h"
+#include "partition/partitioner.h"
 
 namespace gnndm {
 namespace {

@@ -6,6 +6,7 @@
 //
 // Usage: table_taxonomy [--csv_dir=DIR]
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/table.h"
 
 namespace gnndm {

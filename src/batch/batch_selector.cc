@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 
 namespace gnndm {
 

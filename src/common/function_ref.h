@@ -1,0 +1,54 @@
+#ifndef GNNDM_COMMON_FUNCTION_REF_H_
+#define GNNDM_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gnndm {
+
+/// Non-owning reference to a callable: one void* to the callee plus one
+/// function pointer that invokes it. Unlike std::function it never
+/// allocates, never copies the callable, and costs one indirect call to
+/// invoke — which is why every hot call path (ParallelFor bodies, kernel
+/// callbacks) takes a FunctionRef: materializing a std::function per
+/// kernel launch is exactly the per-iteration heap traffic the
+/// hot-path-alloc lint rule bans.
+///
+/// Lifetime contract: a FunctionRef is valid only while the referenced
+/// callable is. Use it for in-scope callbacks a callee invokes before
+/// returning (synchronous work-sharing, visitors); anything stored or
+/// queued beyond the call must own its callable (std::function).
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef>, int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so
+  // call sites keep passing lambdas exactly as they did to std::function.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_(&Invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_FUNCTION_REF_H_

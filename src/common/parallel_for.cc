@@ -71,7 +71,7 @@ struct RunState {
 /// plus the calling thread. Chunks are claimed dynamically off a shared
 /// atomic counter (cheap load balancing for skewed chunks); which thread
 /// runs a chunk is nondeterministic, but chunk boundaries are not.
-void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
+void RunChunks(size_t num_chunks, FunctionRef<void(size_t)> fn) {
   size_t threads = 0;
   std::shared_ptr<ThreadPool> pool = AcquirePool(threads);
   if (pool == nullptr || num_chunks <= 1 || tls_in_parallel_region) {
@@ -176,7 +176,7 @@ void SetComputeThreads(size_t num_threads) {
 bool InParallelRegion() { return tls_in_parallel_region; }
 
 void ParallelFor(size_t n, size_t grain,
-                 const std::function<void(size_t, size_t)>& body) {
+                 FunctionRef<void(size_t, size_t)> body) {
   if (n == 0) return;
   grain = std::max<size_t>(1, grain);
   if (n <= grain) {
@@ -201,7 +201,7 @@ void ParallelFor(size_t n, size_t grain,
 
 void ParallelFor2D(
     size_t rows, size_t cols, size_t row_tile, size_t col_tile,
-    const std::function<void(size_t, size_t, size_t, size_t)>& body) {
+    FunctionRef<void(size_t, size_t, size_t, size_t)> body) {
   if (rows == 0 || cols == 0) return;
   row_tile = std::max<size_t>(1, std::min(row_tile, rows));
   col_tile = std::max<size_t>(1, std::min(col_tile, cols));
@@ -221,7 +221,7 @@ void ParallelFor2D(
 }
 
 void ParallelForShards(size_t n, size_t min_shard,
-                       const std::function<void(size_t, size_t)>& body) {
+                       FunctionRef<void(size_t, size_t)> body) {
   if (n == 0) return;
   min_shard = std::max<size_t>(1, min_shard);
   size_t shards = std::min(ComputeThreads(), n / min_shard);

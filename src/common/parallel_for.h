@@ -2,7 +2,8 @@
 #define GNNDM_COMMON_PARALLEL_FOR_H_
 
 #include <cstddef>
-#include <functional>
+
+#include "common/function_ref.h"
 
 namespace gnndm {
 
@@ -46,11 +47,15 @@ inline constexpr size_t kDefaultGrain = 1024;
 /// the caller. Exceptions thrown by `body` are captured and rethrown on
 /// the calling thread (remaining chunks may be skipped once a chunk has
 /// thrown).
+///
+/// Bodies are taken by FunctionRef, not std::function: a kernel launch
+/// must not heap-allocate a type-erased callable per call (the
+/// hot-path-alloc lint rule), and the body never outlives the loop, so a
+/// non-owning view is exactly right.
 void ParallelFor(size_t n, size_t grain,
-                 const std::function<void(size_t, size_t)>& body);
+                 FunctionRef<void(size_t, size_t)> body);
 
-inline void ParallelFor(size_t n,
-                        const std::function<void(size_t, size_t)>& body) {
+inline void ParallelFor(size_t n, FunctionRef<void(size_t, size_t)> body) {
   ParallelFor(n, kDefaultGrain, body);
 }
 
@@ -61,7 +66,7 @@ inline void ParallelFor(size_t n,
 /// position-independent is byte-identical at any thread count.
 void ParallelFor2D(
     size_t rows, size_t cols, size_t row_tile, size_t col_tile,
-    const std::function<void(size_t, size_t, size_t, size_t)>& body);
+    FunctionRef<void(size_t, size_t, size_t, size_t)> body);
 
 /// Runs body(begin, end) over at most ComputeThreads() contiguous shards
 /// of [0, n), each at least `min_shard` long (except possibly the last).
@@ -70,7 +75,7 @@ void ParallelFor2D(
 /// shard count — unlike ParallelFor's chunk count — never exceeds the
 /// thread count, bounding the redundant scan work.
 void ParallelForShards(size_t n, size_t min_shard,
-                       const std::function<void(size_t, size_t)>& body);
+                       FunctionRef<void(size_t, size_t)> body);
 
 }  // namespace gnndm
 

@@ -6,8 +6,12 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <string>
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/table.h"
 
 namespace gnndm {
 namespace telemetry {
@@ -520,8 +524,13 @@ class JsonChecker {
     return Status::Ok();
   }
 
-  Status String() {
+  /// When `raw` is non-null, receives the key text between the quotes
+  /// with escapes left as written — identical spellings compare equal,
+  /// which is what duplicate detection needs (a writer emitting the same
+  /// key twice emits the same bytes twice).
+  Status String(std::string* raw = nullptr) {
     if (!Consume('"')) return Fail("expected string");
+    const char* body = p_;
     while (p_ != end_ && *p_ != '"') {
       if (static_cast<unsigned char>(*p_) < 0x20) {
         return Fail("unescaped control character in string");
@@ -547,6 +556,7 @@ class JsonChecker {
       }
       Advance();
     }
+    if (raw != nullptr) raw->assign(body, p_);
     if (!Consume('"')) return Fail("unterminated string");
     return Status::Ok();
   }
@@ -593,9 +603,17 @@ class JsonChecker {
         Advance();
         SkipWs();
         if (Consume('}')) return Status::Ok();
+        // RFC 8259 leaves duplicate member names "undefined"; every
+        // consumer of our BENCH_*.json treats objects as maps, so a
+        // duplicate key always means a writer bug — reject it.
+        std::set<std::string> keys;
+        std::string key;
         for (;;) {
           SkipWs();
-          GNNDM_RETURN_IF_ERROR(String());
+          GNNDM_RETURN_IF_ERROR(String(&key));
+          if (!keys.insert(key).second) {
+            return Fail("duplicate object key \"" + key + "\"");
+          }
           SkipWs();
           if (!Consume(':')) return Fail("expected ':'");
           GNNDM_RETURN_IF_ERROR(Value(depth + 1));

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/function_ref.h"
 
 namespace gnndm {
 
@@ -39,9 +40,10 @@ class ThreadPool {
   void Wait() GNNDM_EXCLUDES(mu_);
 
   /// Runs `body(begin, end)` over contiguous chunks of [0, n) across the
-  /// pool and blocks until done. `body` must be thread-safe.
-  void ParallelFor(size_t n,
-                   const std::function<void(size_t, size_t)>& body)
+  /// pool and blocks until done. `body` must be thread-safe. Taken by
+  /// FunctionRef — the call blocks until every chunk ran, so the view
+  /// never dangles, and no per-call std::function is materialized.
+  void ParallelFor(size_t n, FunctionRef<void(size_t, size_t)> body)
       GNNDM_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }

@@ -1,8 +1,16 @@
 #include "core/batch_consumer.h"
 
 #include "common/telemetry.h"
+#include "core/batch_source.h"
 #include "core/costs.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "transfer/device_model.h"
+#include "transfer/feature_cache.h"
+#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 
@@ -54,13 +62,13 @@ ConsumeOutcome BatchConsumer::Consume(PreparedBatch& batch,
   // caller's. ---
   TRACE_SPAN("trainer.nn");
   const Tensor& logits = model_.Forward(sg, batch.input, /*train=*/true);
-  std::vector<int32_t> labels(batch.seeds.size());
+  labels_scratch_.resize(batch.seeds.size());
   for (size_t i = 0; i < batch.seeds.size(); ++i) {
-    labels[i] = dataset_.labels[batch.seeds[i]];
+    labels_scratch_[i] = dataset_.labels[batch.seeds[i]];
   }
-  Tensor d_logits;
-  const double loss = SoftmaxCrossEntropy(logits, labels, d_logits);
-  model_.Backward(sg, d_logits);
+  const double loss =
+      SoftmaxCrossEntropy(logits, labels_scratch_, d_logits_scratch_);
+  model_.Backward(sg, d_logits_scratch_);
   out.loss_sum = loss * static_cast<double>(batch.seeds.size());
   out.times.nn_compute = device_.NnStepSeconds(
       EstimateGnnFlops(sg, dataset_.features.dim(), hidden_dim_,

@@ -7,6 +7,7 @@
 #include "core/batch_source.h"
 #include "graph/dataset.h"
 #include "nn/model.h"
+#include "tensor/tensor.h"
 #include "transfer/device_model.h"
 #include "transfer/feature_cache.h"
 #include "transfer/pipeline.h"
@@ -60,6 +61,12 @@ class BatchConsumer {
   size_t hidden_dim_;
   uint32_t num_conv_layers_;
   uint32_t num_mlp_layers_;
+  // Per-batch scratch, refilled by every Consume call instead of
+  // allocated per batch (hot-path-alloc). Consume runs on one thread per
+  // consumer — each dist worker owns its own BatchConsumer — so member
+  // scratch is race-free.
+  std::vector<int32_t> labels_scratch_;
+  Tensor d_logits_scratch_;
 };
 
 }  // namespace gnndm

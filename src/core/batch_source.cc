@@ -5,8 +5,13 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {

@@ -9,8 +9,10 @@
 
 #include "common/annotations.h"
 #include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/tensor.h"
 
 namespace gnndm {

@@ -2,8 +2,15 @@
 
 #include "common/logging.h"
 #include "core/batch_source.h"
+#include "core/convergence.h"
 #include "core/costs.h"
+#include "core/trainer.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 
 namespace gnndm {
 

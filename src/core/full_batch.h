@@ -6,9 +6,12 @@
 
 #include "core/convergence.h"
 #include "core/trainer.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
 #include "transfer/device_model.h"
 
 namespace gnndm {

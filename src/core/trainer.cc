@@ -2,12 +2,28 @@
 
 #include <algorithm>
 
+#include "batch/batch_schedule.h"
+#include "batch/batch_selector.h"
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
+#include "core/batch_consumer.h"
+#include "core/batch_source.h"
+#include "core/convergence.h"
+#include "core/metrics.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "graph/stats.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
 #include "partition/metis_partitioner.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "transfer/feature_cache.h"
+#include "transfer/pipeline.h"
+#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 
@@ -159,24 +175,29 @@ EpochStats Trainer::TrainEpoch() {
   return stats;
 }
 
+// gnndm-hot
 double Trainer::EvaluateOn(const std::vector<VertexId>& vertices) {
   if (vertices.empty()) return 0.0;
   uint64_t correct = 0;
   const uint32_t eval_batch = 1024;
+  // Every buffer the per-batch loop needs lives above it and is refilled
+  // in place: eval runs each epoch, and a fresh vector/Tensor per batch
+  // is exactly the per-iteration allocation hot-path-alloc bans.
+  std::vector<VertexId> batch;
+  std::vector<int32_t> preds;
+  SampledSubgraph sg;
+  Tensor input;
   for (size_t begin = 0; begin < vertices.size(); begin += eval_batch) {
     const size_t end = std::min(vertices.size(), begin + eval_batch);
-    std::vector<VertexId> batch(vertices.begin() + begin,
-                                vertices.begin() + end);
-    SampledSubgraph sg;
+    batch.assign(vertices.begin() + begin, vertices.begin() + end);
     if (model_->num_hops() == 0) {
-      sg.node_ids.push_back(batch);
+      sg.node_ids.assign(1, batch);
     } else {
       sg = sampler_.Sample(dataset_.graph, batch, rng_);
     }
-    Tensor input;
     TransferEngine::Gather(sg.input_vertices(), dataset_.features, input);
     const Tensor& logits = model_->Forward(sg, input, /*train=*/false);
-    std::vector<int32_t> preds = ArgmaxRows(logits);
+    ArgmaxRowsInto(logits, preds);
     for (size_t i = 0; i < batch.size(); ++i) {
       if (preds[i] == dataset_.labels[batch[i]]) ++correct;
     }
@@ -188,24 +209,27 @@ double Trainer::Evaluate(const std::vector<VertexId>& vertices) {
   return EvaluateOn(vertices);
 }
 
+// gnndm-hot
 ClassificationMetrics Trainer::EvaluateDetailed(
     const std::vector<VertexId>& vertices) {
   ClassificationMetrics metrics(dataset_.num_classes);
   const uint32_t eval_batch = 1024;
+  // Reused across batches; see EvaluateOn.
+  std::vector<VertexId> batch;
+  std::vector<int32_t> preds;
+  SampledSubgraph sg;
+  Tensor input;
   for (size_t begin = 0; begin < vertices.size(); begin += eval_batch) {
     const size_t end = std::min(vertices.size(), begin + eval_batch);
-    std::vector<VertexId> batch(vertices.begin() + begin,
-                                vertices.begin() + end);
-    SampledSubgraph sg;
+    batch.assign(vertices.begin() + begin, vertices.begin() + end);
     if (model_->num_hops() == 0) {
-      sg.node_ids.push_back(batch);
+      sg.node_ids.assign(1, batch);
     } else {
       sg = sampler_.Sample(dataset_.graph, batch, rng_);
     }
-    Tensor input;
     TransferEngine::Gather(sg.input_vertices(), dataset_.features, input);
     const Tensor& logits = model_->Forward(sg, input, /*train=*/false);
-    std::vector<int32_t> preds = ArgmaxRows(logits);
+    ArgmaxRowsInto(logits, preds);
     for (size_t i = 0; i < batch.size(); ++i) {
       metrics.Add(preds[i], dataset_.labels[batch[i]]);
     }

@@ -8,10 +8,12 @@
 
 #include "batch/batch_schedule.h"
 #include "batch/batch_selector.h"
+#include "common/rng.h"
 #include "core/batch_consumer.h"
 #include "core/batch_source.h"
 #include "core/convergence.h"
 #include "core/metrics.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"

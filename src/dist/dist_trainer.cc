@@ -4,8 +4,25 @@
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
+#include "core/batch_consumer.h"
+#include "core/batch_source.h"
+#include "core/convergence.h"
+#include "core/trainer.h"
+#include "dist/network_model.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "partition/partitioner.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "transfer/feature_cache.h"
+#include "transfer/pipeline.h"
+#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 

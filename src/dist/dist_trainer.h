@@ -6,16 +6,19 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/batch_consumer.h"
 #include "core/convergence.h"
 #include "core/trainer.h"
 #include "dist/network_model.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
 #include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"
 #include "transfer/feature_cache.h"
+#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 

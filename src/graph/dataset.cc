@@ -4,6 +4,9 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
 
 namespace gnndm {
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 
 namespace gnndm {
 

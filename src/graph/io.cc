@@ -1,4 +1,7 @@
 #include "graph/io.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 
 #include <algorithm>
 #include <cstdint>

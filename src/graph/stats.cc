@@ -1,4 +1,6 @@
 #include "graph/stats.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 
 #include <algorithm>
 #include <cmath>

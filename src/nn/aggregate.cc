@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
 
 namespace gnndm {
 
@@ -17,6 +19,7 @@ size_t RowGrain(size_t d) {
 
 }  // namespace
 
+// gnndm-hot
 void MeanAggregateWithSelf(const SampleLayer& layer, const Tensor& src,
                            Tensor& out) {
   GNNDM_CHECK(src.rows() == layer.num_src);
@@ -43,6 +46,7 @@ void MeanAggregateWithSelf(const SampleLayer& layer, const Tensor& src,
   });
 }
 
+// gnndm-hot
 void MeanAggregateWithSelfBackward(const SampleLayer& layer,
                                    const Tensor& d_out, Tensor& d_src) {
   GNNDM_CHECK(d_out.rows() == layer.num_dst);
@@ -80,6 +84,7 @@ void MeanAggregateWithSelfBackward(const SampleLayer& layer,
       });
 }
 
+// gnndm-hot
 void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
                             Tensor& out) {
   GNNDM_CHECK(src.rows() == layer.num_src);
@@ -102,6 +107,7 @@ void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
   });
 }
 
+// gnndm-hot
 void MeanAggregateNeighborsBackward(const SampleLayer& layer,
                                     const Tensor& d_out, Tensor& d_src) {
   GNNDM_CHECK(d_out.rows() == layer.num_dst);

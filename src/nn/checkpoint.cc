@@ -1,4 +1,8 @@
 #include "nn/checkpoint.h"
+#include "common/status.h"
+#include "nn/model.h"
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
 
 #include <cmath>
 #include <cstdint>

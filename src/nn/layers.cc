@@ -4,8 +4,11 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/rng.h"
 #include "nn/aggregate.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 
 namespace gnndm {
 

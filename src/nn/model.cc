@@ -1,6 +1,11 @@
 #include "nn/model.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
 
 namespace gnndm {
 

@@ -1,4 +1,5 @@
 #include "nn/optimizer.h"
+#include "nn/parameter.h"
 
 #include <cmath>
 

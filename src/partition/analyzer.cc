@@ -4,7 +4,13 @@
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "graph/stats.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"

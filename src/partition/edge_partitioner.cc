@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "graph/csr_graph.h"
+#include "partition/partitioner.h"
 
 namespace gnndm {
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "partition/partitioner.h"
 
 namespace gnndm {

@@ -1,4 +1,6 @@
 #include "partition/partitioner.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 
 #include <string>
 

@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "graph/csr_graph.h"
+#include "partition/partitioner.h"
 
 namespace gnndm {
 namespace {

@@ -4,6 +4,10 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 

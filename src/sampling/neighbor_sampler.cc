@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 
@@ -37,6 +40,7 @@ namespace {
 /// `k` neighbor positions, with weights given by each neighbor's degree
 /// (or its inverse). `keys` and `picks` are caller-owned scratch reused
 /// across calls; the result is left in `picks`.
+// gnndm-hot
 void WeightedPicks(const CsrGraph& graph, std::span<const VertexId> nbrs,
                    uint32_t k, NeighborWeighting weighting, Rng& rng,
                    std::vector<std::pair<double, uint32_t>>& keys,
@@ -104,6 +108,7 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
   return Sample(graph, seeds, rng, scratch);
 }
 
+// gnndm-hot
 SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
                                         const std::vector<VertexId>& seeds,
                                         Rng& rng,

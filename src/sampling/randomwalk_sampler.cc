@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 

@@ -1,4 +1,5 @@
 #include "sampling/sampled_subgraph.h"
+#include "graph/csr_graph.h"
 
 #include <string>
 

@@ -1,6 +1,10 @@
 #include "sampling/subgraph_sampler.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "sampling/sampled_subgraph.h"
+#include "sampling/vertex_renumberer.h"
 
 namespace gnndm {
 

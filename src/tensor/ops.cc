@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
 
 namespace gnndm {
 
@@ -168,8 +170,8 @@ double SoftmaxCrossEntropy(const Tensor& logits,
   return loss / static_cast<double>(n);
 }
 
-std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
-  std::vector<int32_t> out(logits.rows());
+void ArgmaxRowsInto(const Tensor& logits, std::vector<int32_t>& out) {
+  out.resize(logits.rows());
   // Evaluation-only helper, off the training hot path.
   // serial-ok: O(rows * cols) compares, memory-bound; not worth scheduling.
   for (size_t i = 0; i < logits.rows(); ++i) {
@@ -180,6 +182,11 @@ std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
     }
     out[i] = static_cast<int32_t>(best);
   }
+}
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> out;
+  ArgmaxRowsInto(logits, out);
   return out;
 }
 

@@ -51,7 +51,13 @@ void ScaleInPlace(Tensor& x, float alpha);
 double SoftmaxCrossEntropy(const Tensor& logits,
                            const std::vector<int32_t>& labels, Tensor& grad);
 
-/// Index of the max element in each row (prediction for accuracy).
+/// Index of the max element in each row (prediction for accuracy),
+/// written into `out` (resized to logits.rows()). The Into form exists
+/// so per-batch evaluation loops can reuse one buffer instead of
+/// allocating a fresh vector every batch (hot-path-alloc rule).
+void ArgmaxRowsInto(const Tensor& logits, std::vector<int32_t>& out);
+
+/// Allocating convenience wrapper around ArgmaxRowsInto.
 std::vector<int32_t> ArgmaxRows(const Tensor& logits);
 
 /// Glorot/Xavier uniform init: U(-s, s) with s = sqrt(6 / (fan_in+fan_out)).

@@ -1,4 +1,6 @@
 #include "transfer/block_activity.h"
+#include "graph/csr_graph.h"
+#include "transfer/feature_cache.h"
 
 #include <algorithm>
 

@@ -5,7 +5,11 @@
 
 #include "batch/batch_selector.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry.h"
+#include "graph/csr_graph.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 

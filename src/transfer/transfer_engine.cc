@@ -6,9 +6,15 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/telemetry.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
+#include "tensor/tensor.h"
+#include "transfer/device_model.h"
+#include "transfer/feature_cache.h"
 
 namespace gnndm {
 
+// gnndm-hot
 void TransferEngine::Gather(const std::vector<VertexId>& vertices,
                             const FeatureMatrix& features, Tensor& out) {
   const uint32_t dim = features.dim();
@@ -98,8 +104,11 @@ TransferStats HybridTransfer::Cost(const std::vector<VertexId>& vertices,
   // Active (miss) rows per feature-table block: sort the miss block ids
   // and run-length count, so the double accumulation below always sums
   // in ascending block order (a hash map would reorder the rounding —
-  // and the stats — every run).
-  std::vector<uint64_t> miss_blocks;
+  // and the stats — every run). Cost runs once per batch per worker:
+  // thread_local scratch keeps the capacity across calls (Cost is const,
+  // so member scratch is out) without a per-batch allocation.
+  static thread_local std::vector<uint64_t> miss_blocks;
+  miss_blocks.clear();
   miss_blocks.reserve(vertices.size());
   for (VertexId v : vertices) {
     if (cache != nullptr && cache->Contains(v)) continue;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "tensor/tensor.h"
 #include "transfer/device_model.h"

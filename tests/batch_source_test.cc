@@ -5,12 +5,16 @@
 #include <thread>
 
 #include "batch/batch_selector.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "core/batch_source.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "nn/checkpoint.h"
 #include "nn/model.h"
 #include "sampling/neighbor_sampler.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {

@@ -5,9 +5,12 @@
 
 #include "batch/batch_schedule.h"
 #include "batch/batch_selector.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/generators.h"
 #include "partition/metis_partitioner.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 namespace {

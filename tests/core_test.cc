@@ -2,9 +2,14 @@
 
 #include "core/convergence.h"
 #include "core/costs.h"
+#include "core/metrics.h"
 #include "core/trainer.h"
 #include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/parameter.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "core/convergence.h"
+#include "core/trainer.h"
 #include "dist/dist_trainer.h"
 #include "dist/network_model.h"
 #include "graph/dataset.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {

@@ -4,15 +4,21 @@
 #include <gtest/gtest.h>
 
 #include "batch/batch_selector.h"
+#include "common/rng.h"
 #include "core/trainer.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
 #include "partition/analyzer.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
 #include "transfer/block_activity.h"
+#include "transfer/device_model.h"
 #include "transfer/pipeline.h"
 #include "transfer/transfer_engine.h"
 

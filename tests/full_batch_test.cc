@@ -5,7 +5,9 @@
 #include "graph/dataset.h"
 #include "partition/analyzer.h"
 #include "partition/hash_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/rng.h"
+#include "common/status.h"
 #include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"

@@ -5,14 +5,20 @@
 
 #include <memory>
 
+#include "common/rng.h"
 #include "core/trainer.h"
 #include "dist/dist_trainer.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "partition/analyzer.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "transfer/block_activity.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/status.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "graph/io.h"

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Idempotency contract for `gnndm_lint --fix`: on a tree with one of each
+# mechanically fixable finding (missing include guard, unsorted project
+# include block, reliance on a transitive include), the first --fix run
+# must repair everything and a second --fix run must not change a byte.
+# Run by ctest as `lint_fix_idempotent`.
+set -euo pipefail
+
+LINT_BIN="${1:?usage: lint_fix_idempotent.sh <path-to-gnndm_lint>}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+ROOT="${WORKDIR}/tree"
+mkdir -p "${ROOT}/tools" "${ROOT}/src/common" "${ROOT}/src/graph"
+
+cat > "${ROOT}/tools/layers.txt" <<'EOF'
+layer common
+layer graph
+EOF
+
+cat > "${ROOT}/src/common/types.h" <<'EOF'
+#ifndef GNNDM_COMMON_TYPES_H_
+#define GNNDM_COMMON_TYPES_H_
+
+namespace gnndm {
+
+struct Widget {
+  int value = 0;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_TYPES_H_
+EOF
+
+cat > "${ROOT}/src/common/util.h" <<'EOF'
+#ifndef GNNDM_COMMON_UTIL_H_
+#define GNNDM_COMMON_UTIL_H_
+
+#include "common/types.h"
+
+namespace gnndm {
+
+struct Gadget {
+  Widget widget;
+};
+
+}  // namespace gnndm
+
+#endif  // GNNDM_COMMON_UTIL_H_
+EOF
+
+# Defect 1: uses Widget but includes only util.h (transitive reliance).
+cat > "${ROOT}/src/graph/use.cc" <<'EOF'
+#include "common/util.h"
+
+namespace gnndm {
+
+int WidgetValue(const Gadget& g) {
+  Widget w = g.widget;
+  return w.value;
+}
+
+}  // namespace gnndm
+EOF
+
+# Defect 2: project include block out of order.
+cat > "${ROOT}/src/graph/order.cc" <<'EOF'
+#include "common/util.h"
+#include "common/types.h"
+
+namespace gnndm {
+
+int GadgetValue(const Gadget& g, const Widget& w) {
+  return g.widget.value + w.value;
+}
+
+}  // namespace gnndm
+EOF
+
+# Defect 3: header without an include guard.
+cat > "${ROOT}/src/graph/thing.h" <<'EOF'
+#include "common/types.h"
+
+namespace gnndm {
+
+struct Thing {
+  Widget widget;
+};
+
+}  // namespace gnndm
+EOF
+
+# The seeded tree must actually be broken.
+if "${LINT_BIN}" "${ROOT}" > "${WORKDIR}/before.out" 2>&1; then
+  echo "FAIL: lint reported a clean tree before --fix" >&2
+  cat "${WORKDIR}/before.out" >&2
+  exit 1
+fi
+
+# First --fix run repairs everything it can; a clean exit means no
+# unfixable findings remain.
+if ! "${LINT_BIN}" --fix "${ROOT}" > "${WORKDIR}/fix1.out" 2>&1; then
+  echo "FAIL: findings remain after first --fix run" >&2
+  cat "${WORKDIR}/fix1.out" >&2
+  exit 1
+fi
+
+cp -r "${ROOT}" "${WORKDIR}/after_first_fix"
+
+# Second --fix run must be a byte-for-byte no-op.
+if ! "${LINT_BIN}" --fix "${ROOT}" > "${WORKDIR}/fix2.out" 2>&1; then
+  echo "FAIL: second --fix run reported findings" >&2
+  cat "${WORKDIR}/fix2.out" >&2
+  exit 1
+fi
+
+if ! diff -r "${WORKDIR}/after_first_fix" "${ROOT}"; then
+  echo "FAIL: second --fix run modified the tree (not idempotent)" >&2
+  exit 1
+fi
+
+# And a plain lint of the fixed tree is clean.
+if ! "${LINT_BIN}" "${ROOT}" > "${WORKDIR}/after.out" 2>&1; then
+  echo "FAIL: lint still reports findings after --fix" >&2
+  cat "${WORKDIR}/after.out" >&2
+  exit 1
+fi
+
+echo "PASS: gnndm_lint --fix converges in one run and is idempotent"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Golden-file harness for the gnndm_lint scope scanner: each *.cc in this
+# directory is linted in isolation (`--fixture`) and its output must match
+# the committed *.expected byte for byte. Run by ctest as
+# `lint_fixture_golden`. Regenerate a golden after an intentional change:
+#   gnndm_lint --fixture tests/lint_fixtures/foo.cc > tests/lint_fixtures/foo.expected
+set -euo pipefail
+
+LINT_BIN="${1:?usage: run_fixtures.sh <path-to-gnndm_lint> <fixture-dir>}"
+FIXTURE_DIR="${2:?usage: run_fixtures.sh <path-to-gnndm_lint> <fixture-dir>}"
+
+status=0
+shopt -s nullglob
+fixtures=("${FIXTURE_DIR}"/*.cc)
+if [[ ${#fixtures[@]} -eq 0 ]]; then
+  echo "FAIL: no fixtures found in ${FIXTURE_DIR}" >&2
+  exit 1
+fi
+
+for cc in "${fixtures[@]}"; do
+  golden="${cc%.cc}.expected"
+  if [[ ! -f "${golden}" ]]; then
+    echo "FAIL: missing golden ${golden}" >&2
+    status=1
+    continue
+  fi
+  if ! "${LINT_BIN}" --fixture "${cc}" | diff -u "${golden}" -; then
+    echo "FAIL: ${cc} output differs from $(basename "${golden}")" >&2
+    status=1
+  fi
+done
+
+if [[ ${status} -eq 0 ]]; then
+  echo "PASS: ${#fixtures[@]} lint fixtures match their goldens"
+fi
+exit ${status}

@@ -1,0 +1,27 @@
+// Fixture: a suppression on a scope-opening line (the ParallelFor call
+// that opens the lambda body) covers the finding on the next line; a
+// second allocation further down is still reported, and a suppression
+// that matches nothing trips the unused-suppression meta-rule.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel_for.h"
+
+namespace gnndm {
+
+void SuppressedOnOpeningLine(size_t n) {
+  ParallelFor(n, 16, [&](size_t b, size_t e) {  // gnndm-lint: suppress(hot-path-alloc): fixture, first alloc is intentional
+    std::vector<int> covered(e - b);  // expect: suppressed
+    covered[0] = static_cast<int>(b);
+    std::vector<int> reported(e - b);  // expect: hot-path-alloc
+    reported[0] = static_cast<int>(e);
+  });
+}
+
+void UnusedSuppression(size_t n) {
+  // gnndm-lint: suppress(hot-path-alloc): nothing here allocates
+  for (size_t i = 0; i < n; ++i) {
+  }
+}
+
+}  // namespace gnndm

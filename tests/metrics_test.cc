@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/metrics.h"
+#include "graph/csr_graph.h"
 #include "graph/generators.h"
 #include "sampling/randomwalk_sampler.h"
+#include "sampling/sampled_subgraph.h"
 
 namespace gnndm {
 namespace {

@@ -2,14 +2,19 @@
 
 #include <cmath>
 
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "nn/aggregate.h"
 #include "nn/layers.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
+#include "nn/parameter.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 #include "transfer/transfer_engine.h"
 
 namespace gnndm {

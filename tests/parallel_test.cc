@@ -13,8 +13,9 @@
 
 #include "common/annotations.h"
 #include "common/parallel_for.h"
-#include "graph/dataset.h"
 #include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "nn/aggregate.h"
 #include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"

@@ -4,6 +4,8 @@
 #include <memory>
 #include <set>
 
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
@@ -11,7 +13,9 @@
 #include "partition/edge_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "sampling/neighbor_sampler.h"
 
 namespace gnndm {
 namespace {

@@ -6,17 +6,23 @@
 #include <set>
 #include <tuple>
 
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/dataset.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
-#include "graph/dataset.h"
 #include "partition/analyzer.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
+#include "transfer/device_model.h"
 #include "transfer/feature_cache.h"
-#include "transfer/transfer_engine.h"
 #include "transfer/pipeline.h"
+#include "transfer/transfer_engine.h"
 
 namespace gnndm {
 namespace {

@@ -5,9 +5,12 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/generators.h"
 #include "sampling/layerwise_sampler.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
 #include "sampling/subgraph_sampler.h"
 #include "sampling/vertex_renumberer.h"
 

@@ -13,9 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+#include "common/table.h"
 #include "common/telemetry.h"
 #include "core/trainer.h"
 #include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/pipeline.h"
 
 // --- Allocation counter for the zero-allocation check. -----------------
 // Every global allocation bumps g_allocations; the disabled-path test
@@ -242,6 +246,26 @@ TEST(JsonLintTest, AcceptsValidDocuments) {
   for (const char* doc :
        {"{}", "[]", "null", "true", "42", "-1.5e3", "\"str\"",
         R"({"a": [1, 2.5, {"b": null}], "c": "é\n"})"}) {
+    EXPECT_TRUE(JsonLint(doc).ok()) << doc;
+  }
+}
+
+TEST(JsonLintTest, RejectsDuplicateObjectKeys) {
+  for (const char* doc :
+       {R"({"a": 1, "a": 2})",                 // flat duplicate
+        R"({"a": 1, "b": 2, "a": 3})",         // duplicate after other keys
+        R"({"o": {"x": 1, "x": 2}})",          // nested object
+        R"([{"k": 1, "k": 1}])",               // object inside array
+        R"({"": 0, "": 1})"}) {                // empty key duplicated
+    const Status s = JsonLint(doc);
+    EXPECT_FALSE(s.ok()) << doc;
+    EXPECT_NE(s.ToString().find("duplicate object key"), std::string::npos)
+        << s.ToString();
+  }
+  // Same key at different depths, or in sibling objects, is fine.
+  for (const char* doc :
+       {R"({"a": {"a": 1}})", R"([{"a": 1}, {"a": 2}])",
+        R"({"x": {"k": 1}, "y": {"k": 2}})"}) {
     EXPECT_TRUE(JsonLint(doc).ok()) << doc;
   }
 }

@@ -2,9 +2,13 @@
 
 #include <memory>
 
+#include "common/rng.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
 #include "transfer/block_activity.h"
 #include "transfer/device_model.h"
 #include "transfer/feature_cache.h"

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/generators.h"
 #include "graph/io.h"

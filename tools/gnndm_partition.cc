@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -17,6 +18,7 @@
 #include "partition/edge_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
 #include "sampling/neighbor_sampler.h"
 

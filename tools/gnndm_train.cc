@@ -31,7 +31,10 @@
 #include "partition/edge_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "transfer/pipeline.h"
 
 namespace gnndm {
 namespace {
