@@ -7,6 +7,7 @@
 // the perf trajectory.
 //
 //   micro_kernels [--quick] [--threads=2,4,8] [--reps=N]
+//                 [--simd=auto|scalar|avx2|neon]
 //                 [--json=BENCH_kernels.json] [--no_json]
 //
 // The exit code is nonzero only when a parallel output differs from the
@@ -33,6 +34,7 @@
 #include "nn/aggregate.h"
 #include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "transfer/transfer_engine.h"
 
@@ -96,6 +98,28 @@ SampleLayer MakeLayer(uint32_t num_dst, uint32_t num_src,
   return layer;
 }
 
+/// Power-law-shaped SampleLayer: a hub destination every 97 rows with
+/// fanout up to `max_degree`, the rest tapering toward degree 1 — the
+/// skew real neighbor sampling produces on scale-free graphs, which the
+/// uniform MakeLayer hides (hubs stress the gather ramp; the tail
+/// stresses per-row dispatch overhead).
+SampleLayer MakePowerLawLayer(uint32_t num_dst, uint32_t num_src,
+                              uint32_t max_degree, Rng& rng) {
+  SampleLayer layer;
+  layer.num_dst = num_dst;
+  layer.num_src = num_src;
+  layer.offsets.push_back(0);
+  for (uint32_t i = 0; i < num_dst; ++i) {
+    const uint32_t degree = std::max<uint32_t>(1, max_degree / (1 + i % 97));
+    for (uint32_t e = 0; e < degree; ++e) {
+      layer.neighbors.push_back(
+          static_cast<uint32_t>(rng.UniformInt(num_src)));
+    }
+    layer.offsets.push_back(static_cast<uint32_t>(layer.neighbors.size()));
+  }
+  return layer;
+}
+
 struct ThreadSample {
   size_t threads = 0;
   double ms = 0.0;
@@ -137,6 +161,14 @@ int Run(int argc, char** argv) {
       ParseThreadList(flags.GetString("threads", "2,4,8"));
   const std::string json_path =
       flags.GetString("json", "BENCH_kernels.json");
+  const std::string simd_choice = flags.GetString("simd", "auto");
+  if (Status simd_status = SetSimdTierByName(simd_choice);
+      !simd_status.ok()) {
+    std::fprintf(stderr, "--simd: %s\n", simd_status.ToString().c_str());
+    return 2;
+  }
+  const char* simd_name = SimdTierName(ActiveSimdTier());
+  std::printf("[simd tier: %s]\n", simd_name);
 
   // --- Deterministic inputs -------------------------------------------
   Rng rng(20240605);
@@ -184,6 +216,26 @@ int Run(int argc, char** argv) {
                    [&] { MatMulTransB(a, b, mm_out); },
                    [&] { return TensorBytes(mm_out); }});
 
+  // GNN-shaped tall-skinny matmuls: thousands of batch rows against the
+  // small square-ish weights a GraphSAGE/GCN layer actually multiplies
+  // (hidden 64→16 and input 256→256). The square case above measures
+  // peak flops; these measure the shapes training spends its time in.
+  const size_t tall_m = quick ? 2048 : 8192;
+  Tensor tall_in64(tall_m, 64), tall_w64(64, 16);
+  Tensor tall_in256(tall_m, 256), tall_w256(256, 256);
+  FillRandom(tall_in64, rng);
+  FillRandom(tall_w64, rng);
+  FillRandom(tall_in256, rng);
+  FillRandom(tall_w256, rng);
+  std::snprintf(shape, sizeof(shape), "%zux64x16", tall_m);
+  cases.push_back({"matmul_tall_64_16", shape, no_reset,
+                   [&] { MatMul(tall_in64, tall_w64, mm_out); },
+                   [&] { return TensorBytes(mm_out); }});
+  std::snprintf(shape, sizeof(shape), "%zux256x256", tall_m);
+  cases.push_back({"matmul_tall_256_256", shape, no_reset,
+                   [&] { MatMul(tall_in256, tall_w256, mm_out); },
+                   [&] { return TensorBytes(mm_out); }});
+
   std::snprintf(shape, sizeof(shape), "%ud deg~%u dim=%u", agg_dst,
                 agg_deg, feat_dim);
   cases.push_back({"agg_self", shape, no_reset,
@@ -206,11 +258,42 @@ int Run(int argc, char** argv) {
        [&] { MeanAggregateNeighborsBackward(layer, bwd_in, bwd_out); },
        [&] { return TensorBytes(bwd_out); }});
 
+  // Power-law fanout: hubs + long tail, the degree profile sampling
+  // actually emits (the uniform layer above flatters per-row overhead).
+  SampleLayer pow_layer =
+      MakePowerLawLayer(agg_dst, agg_src, /*max_degree=*/128, rng);
+  std::snprintf(shape, sizeof(shape), "%ud pow~128 dim=%u", agg_dst,
+                feat_dim);
+  cases.push_back(
+      {"agg_self_pow", shape, no_reset,
+       [&] { MeanAggregateWithSelf(pow_layer, agg_in, agg_out); },
+       [&] { return TensorBytes(agg_out); }});
+  cases.push_back(
+      {"agg_self_pow_bwd", shape,
+       [&] { bwd_out = Tensor(agg_src, feat_dim); },
+       [&] { MeanAggregateWithSelfBackward(pow_layer, bwd_in, bwd_out); },
+       [&] { return TensorBytes(bwd_out); }});
+
   std::snprintf(shape, sizeof(shape), "%ur dim=%u", gather_rows, feat_dim);
   cases.push_back(
       {"gather", shape, no_reset,
        [&] { TransferEngine::Gather(gather_ids, features, gather_out); },
        [&] { return TensorBytes(gather_out); }});
+
+  // Canonical-order dot product (the fixed-lane reduction primitive).
+  // Serial by contract, so the thread sweep trivially matches — the
+  // interesting number is the per-tier serial throughput.
+  const size_t dot_n = quick ? (1u << 18) : (1u << 22);
+  Tensor dot_x(1, dot_n), dot_y(1, dot_n), dot_out(1, 1);
+  FillRandom(dot_x, rng);
+  FillRandom(dot_y, rng);
+  std::snprintf(shape, sizeof(shape), "n=%zu", dot_n);
+  cases.push_back({"dot_canonical", shape, no_reset,
+                   [&] {
+                     dot_out.data()[0] =
+                         DotCanonical(dot_x.data(), dot_y.data(), dot_n);
+                   },
+                   [&] { return TensorBytes(dot_out); }});
 
   // --- Measure ---------------------------------------------------------
   std::vector<KernelReport> reports;
@@ -276,6 +359,7 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"quick\": %s,\n  \"reps\": %d,\n",
                  quick ? "true" : "false", reps);
+    std::fprintf(f, "  \"simd\": \"%s\",\n", simd_name);
     std::fprintf(f, "  \"all_identical\": %s,\n",
                  all_identical ? "true" : "false");
     std::fprintf(f, "  \"kernels\": [\n");

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "sampling/sampled_subgraph.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace gnndm {
@@ -19,29 +20,31 @@ size_t RowGrain(size_t d) {
 
 }  // namespace
 
+// The loops here own the edge-walk order (ascending dst, self before
+// edges, ascending edge index); the f-axis inner work is delegated to
+// the dispatched SIMD table, which vectorizes along the feature dim
+// without touching the accumulation order — so tier and thread count
+// never change the bits.
+
 // gnndm-hot
 void MeanAggregateWithSelf(const SampleLayer& layer, const Tensor& src,
                            Tensor& out) {
   GNNDM_CHECK(src.rows() == layer.num_src);
   const size_t d = src.cols();
   out.Resize(layer.num_dst, d);
+  const SimdKernels& simd = Simd();
   // Row-parallel: destination rows are written by exactly one chunk and
   // read-only share src, and the per-row edge walk keeps its serial
   // order — byte-identical at any thread count.
   ParallelFor(layer.num_dst, RowGrain(d), [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
       float* orow = out.data() + i * d;
-      const float* self = src.data() + i * d;
-      for (size_t f = 0; f < d; ++f) orow[f] = self[f];
       const uint32_t begin = layer.offsets[i];
       const uint32_t end = layer.offsets[i + 1];
-      for (uint32_t e = begin; e < end; ++e) {
-        const float* nrow =
-            src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-        for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
-      }
-      const float inv = 1.0f / static_cast<float>(1 + end - begin);
-      for (size_t f = 0; f < d; ++f) orow[f] *= inv;
+      simd.copy(d, src.data() + i * d, orow);
+      simd.gather_rows_add(d, src.data(), layer.neighbors.data() + begin,
+                           end - begin, orow);
+      simd.scale(d, 1.0f / static_cast<float>(1 + end - begin), orow);
     }
   });
 }
@@ -54,6 +57,7 @@ void MeanAggregateWithSelfBackward(const SampleLayer& layer,
   if (d_src.rows() != layer.num_src || d_src.cols() != d) {
     d_src.Resize(layer.num_src, d);
   }
+  const SimdKernels& simd = Simd();
   // Destination-partitioned scatter: every shard walks the full dst/edge
   // list in serial order but applies only the updates whose d_src row
   // falls inside its own contiguous slice. Shards write disjoint rows
@@ -71,15 +75,12 @@ void MeanAggregateWithSelfBackward(const SampleLayer& layer,
           const float inv = 1.0f / static_cast<float>(1 + end - begin);
           const float* grow = d_out.data() + static_cast<size_t>(i) * d;
           if (i >= s0 && i < s1) {
-            float* self = d_src.data() + static_cast<size_t>(i) * d;
-            for (size_t f = 0; f < d; ++f) self[f] += grow[f] * inv;
+            simd.axpy(d, inv, grow,
+                      d_src.data() + static_cast<size_t>(i) * d);
           }
-          for (uint32_t e = begin; e < end; ++e) {
-            const uint32_t t = layer.neighbors[e];
-            if (t < s0 || t >= s1) continue;
-            float* nrow = d_src.data() + static_cast<size_t>(t) * d;
-            for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
-          }
+          simd.scatter_rows_axpy(d, grow, inv,
+                                 layer.neighbors.data() + begin,
+                                 end - begin, s0, s1, d_src.data());
         }
       });
 }
@@ -90,19 +91,16 @@ void MeanAggregateNeighbors(const SampleLayer& layer, const Tensor& src,
   GNNDM_CHECK(src.rows() == layer.num_src);
   const size_t d = src.cols();
   out.Resize(layer.num_dst, d);
+  const SimdKernels& simd = Simd();
   ParallelFor(layer.num_dst, RowGrain(d), [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
       float* orow = out.data() + i * d;
       const uint32_t begin = layer.offsets[i];
       const uint32_t end = layer.offsets[i + 1];
-      if (begin == end) continue;  // zero row
-      for (uint32_t e = begin; e < end; ++e) {
-        const float* nrow =
-            src.data() + static_cast<size_t>(layer.neighbors[e]) * d;
-        for (size_t f = 0; f < d; ++f) orow[f] += nrow[f];
-      }
-      const float inv = 1.0f / static_cast<float>(end - begin);
-      for (size_t f = 0; f < d; ++f) orow[f] *= inv;
+      if (begin == end) continue;  // zero row (Resize zero-fills)
+      simd.gather_rows_add(d, src.data(), layer.neighbors.data() + begin,
+                           end - begin, orow);
+      simd.scale(d, 1.0f / static_cast<float>(end - begin), orow);
     }
   });
 }
@@ -115,6 +113,7 @@ void MeanAggregateNeighborsBackward(const SampleLayer& layer,
   if (d_src.rows() != layer.num_src || d_src.cols() != d) {
     d_src.Resize(layer.num_src, d);
   }
+  const SimdKernels& simd = Simd();
   // Same destination-partitioned scheme as MeanAggregateWithSelfBackward.
   ParallelForShards(
       layer.num_src, /*min_shard=*/256, [&](size_t s0, size_t s1) {
@@ -123,13 +122,10 @@ void MeanAggregateNeighborsBackward(const SampleLayer& layer,
           const uint32_t end = layer.offsets[i + 1];
           if (begin == end) continue;
           const float* grow = d_out.data() + static_cast<size_t>(i) * d;
-          const float inv = 1.0f / static_cast<float>(end - begin);
-          for (uint32_t e = begin; e < end; ++e) {
-            const uint32_t t = layer.neighbors[e];
-            if (t < s0 || t >= s1) continue;
-            float* nrow = d_src.data() + static_cast<size_t>(t) * d;
-            for (size_t f = 0; f < d; ++f) nrow[f] += grow[f] * inv;
-          }
+          simd.scatter_rows_axpy(d, grow,
+                                 1.0f / static_cast<float>(end - begin),
+                                 layer.neighbors.data() + begin,
+                                 end - begin, s0, s1, d_src.data());
         }
       });
 }

@@ -8,6 +8,7 @@
 #include "nn/aggregate.h"
 #include "sampling/sampled_subgraph.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace gnndm {
@@ -90,15 +91,17 @@ const Tensor& SageConv::Forward(const SampleLayer& layer, const Tensor& src) {
   // Self branch: destination i's features are src row i. Row-parallel
   // copy — disjoint rows, byte-identical at any thread count.
   self_cache_.Resize(layer.num_dst, in_dim);
-  ParallelFor(layer.num_dst,
-              std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
-              [&](size_t r0, size_t r1) {
-                for (size_t i = r0; i < r1; ++i) {
-                  auto srow = src.row(i);
-                  auto drow = self_cache_.row(i);
-                  for (size_t f = 0; f < in_dim; ++f) drow[f] = srow[f];
-                }
-              });
+  {
+    const SimdKernels& simd = Simd();
+    ParallelFor(layer.num_dst,
+                std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
+                [&](size_t r0, size_t r1) {
+                  for (size_t i = r0; i < r1; ++i) {
+                    simd.copy(in_dim, src.row(i).data(),
+                              self_cache_.row(i).data());
+                  }
+                });
+  }
   MeanAggregateNeighbors(layer, src, agg_cache_);
 
   MatMul(self_cache_, weight_self_.value, output_);
@@ -129,15 +132,19 @@ Tensor SageConv::Backward(const SampleLayer& layer, const Tensor& d_out) {
   // Self branch gradient lands on the first num_dst source rows.
   Tensor d_self;
   MatMulTransB(dz, weight_self_.value, d_self);
-  ParallelFor(layer.num_dst,
-              std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
-              [&](size_t r0, size_t r1) {
-                for (size_t i = r0; i < r1; ++i) {
-                  auto grow = d_self.row(i);
-                  auto drow = d_src.row(i);
-                  for (size_t f = 0; f < in_dim; ++f) drow[f] += grow[f];
-                }
-              });
+  {
+    // drow += 1.0f * grow: the multiply by one is exact, same bits as
+    // the historical += loop.
+    const SimdKernels& simd = Simd();
+    ParallelFor(layer.num_dst,
+                std::max<size_t>(1, 8192 / std::max<size_t>(1, in_dim)),
+                [&](size_t r0, size_t r1) {
+                  for (size_t i = r0; i < r1; ++i) {
+                    simd.axpy(in_dim, 1.0f, d_self.row(i).data(),
+                              d_src.row(i).data());
+                  }
+                });
+  }
   // Neighbor branch gradient scatters through the aggregation.
   Tensor d_agg;
   MatMulTransB(dz, weight_neigh_.value, d_agg);

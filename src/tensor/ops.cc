@@ -2,36 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace gnndm {
+
+// All dense kernels bottom out in the runtime-dispatched SIMD tables
+// (tensor/simd.h). The ParallelFor tilings here only decide which thread
+// owns which output elements; the per-element accumulation order is
+// fixed by the kernel table's contract, so results are byte-identical
+// at any thread count and on any ISA tier (DESIGN.md §13).
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
   GNNDM_CHECK(a.cols() == b.rows());
   out.Resize(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || k == 0 || n == 0) return;
-  // Tiled over the output: every out element belongs to exactly one tile,
-  // and within a tile the kk reduction runs in full ascending order (with
-  // the same zero-skip), so the accumulation order per element — and
-  // hence the bits — match the serial loop at any thread count. The
-  // column tile bounds the live slice of b to cache size.
+  const SimdKernels& simd = Simd();
+  // Tiled over the output: every out element belongs to exactly one
+  // tile, and within a tile the register-blocked micro-kernel runs the
+  // kk reduction in full ascending order per element. The column tile
+  // bounds the live slice of b to cache size.
   ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/512,
                 [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-                  for (size_t i = i0; i < i1; ++i) {
-                    const float* arow = a.data() + i * k;
-                    float* orow = out.data() + i * n;
-                    for (size_t kk = 0; kk < k; ++kk) {
-                      const float av = arow[kk];
-                      if (av == 0.0f) continue;
-                      const float* brow = b.data() + kk * n;
-                      for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
-                    }
-                  }
+                  simd.gemm_tile(a.data(), k, b.data(), n, out.data(), n,
+                                 i0, i1, j0, j1, k);
                 });
 }
 
@@ -40,21 +40,13 @@ void MatMulTransA(const Tensor& a, const Tensor& b, Tensor& out) {
   out.Resize(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (k == 0 || m == 0 || n == 0) return;
-  // Same contract as MatMul: tiles own disjoint out elements and kk stays
-  // the outermost loop inside each tile, preserving the serial
-  // accumulation order per element.
+  const SimdKernels& simd = Simd();
+  // Same contract as MatMul; only the A(i, kk) addressing differs
+  // (A is [k x m], read column-wise via broadcasts).
   ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/512,
                 [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-                  for (size_t kk = 0; kk < k; ++kk) {
-                    const float* arow = a.data() + kk * m;
-                    const float* brow = b.data() + kk * n;
-                    for (size_t i = i0; i < i1; ++i) {
-                      const float av = arow[i];
-                      if (av == 0.0f) continue;
-                      float* orow = out.data() + i * n;
-                      for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
-                    }
-                  }
+                  simd.gemm_tile_ta(a.data(), m, b.data(), n, out.data(),
+                                    n, i0, i1, j0, j1, k);
                 });
 }
 
@@ -63,33 +55,40 @@ void MatMulTransB(const Tensor& a, const Tensor& b, Tensor& out) {
   out.Resize(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || k == 0 || n == 0) return;
-  // Independent dot products per out element; kk order is fixed inside
-  // each dot, so tiling cannot change a single bit.
-  ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/256,
+  const SimdKernels& simd = Simd();
+  // Pack b^T once into a [k x n] row-major panel, then run the exact
+  // MatMul micro-kernel on it. The strided b reads happen once in a
+  // cache-blocked transpose of pure copies instead of once per output
+  // row, which is what made the _tb variant fall off a cliff. Packing
+  // cost is O(k*n) against O(m*k*n) compute, and the per-element
+  // accumulation order (ascending kk) is unchanged by the layout move.
+  // Thread_local scratch: repeated calls (every Linear/GcnConv backward)
+  // reuse the buffer instead of allocating per batch.
+  static thread_local std::vector<float> packed;
+  packed.resize(k * n);
+  float* bt = packed.data();
+  ParallelFor(n, /*grain=*/std::max<size_t>(16, 8192 / std::max<size_t>(1, k)),
+              [&](size_t j0, size_t j1) {
+                simd.pack_b_transpose(b.data(), k, j0, j1, k, n, bt);
+              });
+  ParallelFor2D(m, n, /*row_tile=*/64, /*col_tile=*/512,
                 [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-                  for (size_t i = i0; i < i1; ++i) {
-                    const float* arow = a.data() + i * k;
-                    float* orow = out.data() + i * n;
-                    for (size_t j = j0; j < j1; ++j) {
-                      const float* brow = b.data() + j * k;
-                      float sum = 0.0f;
-                      for (size_t kk = 0; kk < k; ++kk) {
-                        sum += arow[kk] * brow[kk];
-                      }
-                      orow[j] = sum;
-                    }
-                  }
+                  simd.gemm_tile(a.data(), k, bt, n, out.data(), n, i0,
+                                 i1, j0, j1, k);
                 });
 }
 
 void AddBiasInPlace(Tensor& x, const Tensor& bias) {
   GNNDM_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
   const size_t cols = x.cols();
+  const SimdKernels& simd = Simd();
+  const float* brow = bias.data();
+  // row += 1.0f * bias: the multiply by one is exact, so this is the
+  // same bits as the historical row[j] += bias[j] loop.
   ParallelFor(x.rows(), std::max<size_t>(1, 8192 / std::max<size_t>(1, cols)),
               [&](size_t r0, size_t r1) {
                 for (size_t i = r0; i < r1; ++i) {
-                  float* row = x.data() + i * cols;
-                  for (size_t j = 0; j < cols; ++j) row[j] += bias.at(0, j);
+                  simd.axpy(cols, 1.0f, brow, x.data() + i * cols);
                 }
               });
 }
@@ -97,20 +96,22 @@ void AddBiasInPlace(Tensor& x, const Tensor& bias) {
 void SumRows(const Tensor& grad, Tensor& bias_grad) {
   bias_grad.Resize(1, grad.cols());
   const size_t cols = grad.cols();
+  const SimdKernels& simd = Simd();
   // Column-sliced so each task owns disjoint accumulators; the reduction
   // over rows stays ascending per column — serial bits preserved.
   ParallelFor(cols, /*grain=*/64, [&](size_t c0, size_t c1) {
+    float* acc = bias_grad.data() + c0;
     for (size_t i = 0; i < grad.rows(); ++i) {
-      const float* row = grad.data() + i * cols;
-      for (size_t j = c0; j < c1; ++j) bias_grad.at(0, j) += row[j];
+      simd.axpy(c1 - c0, 1.0f, grad.data() + i * cols + c0, acc);
     }
   });
 }
 
 void ReluInPlace(Tensor& x) {
   float* p = x.data();
-  ParallelFor(x.size(), /*grain=*/16384, [p](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) p[i] = std::max(p[i], 0.0f);
+  const SimdKernels& simd = Simd();
+  ParallelFor(x.size(), /*grain=*/16384, [p, &simd](size_t b, size_t e) {
+    simd.relu(e - b, p + b);
   });
 }
 
@@ -119,27 +120,37 @@ void ReluBackwardInPlace(Tensor& grad, const Tensor& activation) {
               grad.cols() == activation.cols());
   float* g = grad.data();
   const float* a = activation.data();
-  ParallelFor(grad.size(), /*grain=*/16384, [g, a](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      if (a[i] <= 0.0f) g[i] = 0.0f;
-    }
-  });
+  const SimdKernels& simd = Simd();
+  ParallelFor(grad.size(), /*grain=*/16384,
+              [g, a, &simd](size_t b, size_t e) {
+                simd.relu_bwd(e - b, a + b, g + b);
+              });
 }
 
 void Axpy(float alpha, const Tensor& x, Tensor& y) {
   GNNDM_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
   const float* xp = x.data();
   float* yp = y.data();
-  ParallelFor(x.size(), /*grain=*/16384, [alpha, xp, yp](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) yp[i] += alpha * xp[i];
-  });
+  const SimdKernels& simd = Simd();
+  ParallelFor(x.size(), /*grain=*/16384,
+              [alpha, xp, yp, &simd](size_t b, size_t e) {
+                simd.axpy(e - b, alpha, xp + b, yp + b);
+              });
 }
 
 void ScaleInPlace(Tensor& x, float alpha) {
   float* p = x.data();
-  ParallelFor(x.size(), /*grain=*/16384, [alpha, p](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) p[i] *= alpha;
-  });
+  const SimdKernels& simd = Simd();
+  ParallelFor(x.size(), /*grain=*/16384,
+              [alpha, p, &simd](size_t b, size_t e) {
+                simd.scale(e - b, alpha, p + b);
+              });
+}
+
+float DotCanonical(const float* x, const float* y, size_t n) {
+  // Single accumulator chain by design: the virtual-lane tree *is* the
+  // deterministic parallel-reduction shape, so no ParallelFor here.
+  return Simd().dot(n, x, y);
 }
 
 double SoftmaxCrossEntropy(const Tensor& logits,

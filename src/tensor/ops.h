@@ -44,6 +44,13 @@ void Axpy(float alpha, const Tensor& x, Tensor& y);
 /// x *= alpha.
 void ScaleInPlace(Tensor& x, float alpha);
 
+/// Dot product of two length-n buffers in the canonical fixed-lane
+/// reduction order (tensor/simd.h): lane-strided partial sums folded by
+/// the 8-lane accumulator tree, then the tail added in ascending order.
+/// Every SIMD tier and thread count returns the same bits. This is the
+/// reduction primitive future attention/score kernels must build on.
+float DotCanonical(const float* x, const float* y, size_t n);
+
 /// Row-wise softmax + mean cross-entropy over `labels`.
 /// Writes dLoss/dLogits into `grad` (same shape as logits, already divided
 /// by the row count) and returns the mean loss. labels[i] must be in

@@ -1,0 +1,74 @@
+// NEON tier: the 8-wide virtual lane is a pair of float32x4_t. ASIMD is
+// baseline on AArch64, so no special compile flags are needed — but the
+// lane semantics still follow the scalar tier exactly: separate mul/add
+// (no vfma), and compare+select forms whose NaN/signed-zero behavior
+// matches the scalar ternaries (vmaxq_f32 would return +0 for
+// max(+0,-0) and so is NOT used for relu).
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+namespace gnndm {
+namespace simd_neon {
+
+struct VF {
+  float32x4_t lo, hi;
+};
+
+inline VF VLoad(const float* p) { return {vld1q_f32(p), vld1q_f32(p + 4)}; }
+
+inline void VStore(float* p, VF a) {
+  vst1q_f32(p, a.lo);
+  vst1q_f32(p + 4, a.hi);
+}
+
+inline VF VSplat(float x) { return {vdupq_n_f32(x), vdupq_n_f32(x)}; }
+
+inline VF VZero() { return VSplat(0.0f); }
+
+inline VF VAdd(VF a, VF b) {
+  return {vaddq_f32(a.lo, b.lo), vaddq_f32(a.hi, b.hi)};
+}
+
+inline VF VMul(VF a, VF b) {
+  return {vmulq_f32(a.lo, b.lo), vmulq_f32(a.hi, b.hi)};
+}
+
+/// Two roundings by contract — deliberately not vfmaq_f32.
+inline VF VMulAcc(VF acc, VF a, VF b) { return VAdd(acc, VMul(a, b)); }
+
+/// (0 > x) ? 0 : x per lane: select-on-compare so that NaN falls through
+/// and -0 is kept, matching the scalar ternary bit for bit.
+inline float32x4_t ReluQuad(float32x4_t x) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  return vbslq_f32(vcgtq_f32(zero, x), zero, x);
+}
+
+inline VF VRelu(VF x) { return {ReluQuad(x.lo), ReluQuad(x.hi)}; }
+
+/// (act > 0) ? g : 0 via compare mask + bitwise AND (preserves g's bits;
+/// NaN act compares false).
+inline float32x4_t MaskGtZeroQuad(float32x4_t act, float32x4_t g) {
+  const uint32x4_t mask = vcgtq_f32(act, vdupq_n_f32(0.0f));
+  return vreinterpretq_f32_u32(
+      vandq_u32(vreinterpretq_u32_f32(g), mask));
+}
+
+inline VF VMaskGtZero(VF act, VF g) {
+  return {MaskGtZeroQuad(act.lo, g.lo), MaskGtZeroQuad(act.hi, g.hi)};
+}
+
+#define GNNDM_SIMD_TIER_STRING "neon"
+#include "tensor/simd_kernels.inc"
+#undef GNNDM_SIMD_TIER_STRING
+
+}  // namespace simd_neon
+}  // namespace gnndm
+
+#endif  // __aarch64__

@@ -1,0 +1,80 @@
+// Scalar tier: emulates the 8-wide virtual lane with a float[8]. This is
+// the portable reference every other tier must match bit for bit — the
+// lane ops below are the *definition* of the kernel semantics. The plain
+// loops auto-vectorize to whatever the baseline target offers (SSE2 on
+// x86-64) without changing bits, because every operation stays
+// individually rounded and lane-wise.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+namespace gnndm {
+namespace simd_scalar {
+
+struct VF {
+  float v[kSimdLanes];
+};
+
+inline VF VLoad(const float* p) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) r.v[l] = p[l];
+  return r;
+}
+
+inline void VStore(float* p, VF a) {
+  for (size_t l = 0; l < kSimdLanes; ++l) p[l] = a.v[l];
+}
+
+inline VF VSplat(float x) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) r.v[l] = x;
+  return r;
+}
+
+inline VF VZero() { return VSplat(0.0f); }
+
+inline VF VAdd(VF a, VF b) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+
+inline VF VMul(VF a, VF b) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+
+/// acc + a*b with two roundings — the contract forbids fusing, and
+/// -ffp-contract=off keeps the compiler from fusing it here.
+inline VF VMulAcc(VF acc, VF a, VF b) { return VAdd(acc, VMul(a, b)); }
+
+inline VF VRelu(VF x) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) {
+    r.v[l] = (0.0f > x.v[l]) ? 0.0f : x.v[l];
+  }
+  return r;
+}
+
+inline VF VMaskGtZero(VF act, VF g) {
+  VF r;
+  for (size_t l = 0; l < kSimdLanes; ++l) {
+    r.v[l] = (act.v[l] > 0.0f) ? g.v[l] : 0.0f;
+  }
+  return r;
+}
+
+// The 4-row GEMM register blocks carry 64 live accumulator floats —
+// eight float[8] VFs spill into the stack on a baseline 16-xmm target,
+// which is slower than no blocking at all. Single-row paths only.
+#define GNNDM_SIMD_NARROW_GEMM 1
+#define GNNDM_SIMD_TIER_STRING "scalar"
+#include "tensor/simd_kernels.inc"
+#undef GNNDM_SIMD_TIER_STRING
+#undef GNNDM_SIMD_NARROW_GEMM
+
+}  // namespace simd_scalar
+}  // namespace gnndm

@@ -8,6 +8,7 @@
 #include "common/telemetry.h"
 #include "graph/csr_graph.h"
 #include "graph/dataset.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "transfer/device_model.h"
 #include "transfer/feature_cache.h"
@@ -24,15 +25,14 @@ void TransferEngine::Gather(const std::vector<VertexId>& vertices,
   // serial loop. Grain keeps ~16K floats of copying per chunk so small
   // batches stay on the calling thread.
   const size_t grain = std::max<size_t>(16, 16384 / std::max<uint32_t>(1, dim));
+  const SimdKernels& simd = Simd();
   ParallelFor(vertices.size(), grain, [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
       // Out-of-range here is a silent wild read in release builds — the
       // gather is the one place every sampled id crosses into raw memory.
       GNNDM_DCHECK(vertices[i] < features.num_vertices())
           << "gather of vertex " << vertices[i] << " beyond feature matrix";
-      auto src = features.row(vertices[i]);
-      auto dst = out.row(i);
-      for (uint32_t f = 0; f < dim; ++f) dst[f] = src[f];
+      simd.copy(dim, features.row(vertices[i]).data(), out.row(i).data());
     }
   });
 }

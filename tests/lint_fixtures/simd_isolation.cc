@@ -1,0 +1,44 @@
+// Fixture: the simd-isolation rule. ISA headers, vector intrinsics,
+// vector-ISA #if forks, and raw CPU feature probes are all confined to
+// src/tensor/simd* and src/common/cpu_features.* — this file stands in
+// for ordinary module code, so each one must be flagged. Architecture
+// macros (__x86_64__) stay legal, and a justified suppression escapes.
+#include <immintrin.h>  // expect: simd-isolation
+
+#include <cstddef>
+
+namespace gnndm {
+
+#if defined(__x86_64__)  // expect: clean (architecture, not vector ISA)
+constexpr bool kIsX86 = true;
+#else
+constexpr bool kIsX86 = false;
+#endif
+
+#if defined(__AVX2__)  // expect: simd-isolation (vector-ISA fork)
+constexpr size_t kWidth = 8;
+#else
+constexpr size_t kWidth = 1;
+#endif
+
+void AddEight(const float* x, const float* y, float* out) {
+  __m256 a = _mm256_loadu_ps(x);  // expect: simd-isolation (x2)
+  __m256 b = _mm256_loadu_ps(y);  // expect: simd-isolation (x2)
+  _mm256_storeu_ps(out, _mm256_add_ps(a, b));  // expect: simd-isolation (x2)
+}
+
+bool ProbeDirectly() {
+  return __builtin_cpu_supports("avx2");  // expect: simd-isolation
+}
+
+// NEON spellings are caught by the same rule.
+void NeonNames() {
+  // float32x4_t v = vld1q_f32(nullptr); vaddq_f32(v, v);
+  (void)kIsX86;
+  (void)kWidth;
+}
+
+// gnndm-lint: suppress(simd-isolation): fixture demonstrates the escape
+bool ProbeSuppressed() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace gnndm

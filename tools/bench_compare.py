@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Kernel perf gate: diff a fresh BENCH_kernels.json against the committed
+baseline and fail on structural perf regressions.
+
+Usage:
+    bench_compare.py FRESH_JSON BASELINE_JSON
+
+Checks (all machine-relative — absolute times are never compared, so the
+gate is stable across runner hardware):
+
+1. `all_identical` must be true in the fresh run: a parallel output that
+   differs from the serial baseline is a determinism-contract violation.
+2. matmul_tb serial time must stay within a ratio limit of matmul serial
+   time: 1.5x for full-size runs, 2.0x for --quick runs (the quick
+   matmul finishes in ~0.1ms, where scheduler noise swings the ratio by
+   +-0.3; the unpacked cliff this gate exists to catch sits at ~4x, so
+   the looser quick limit still catches it). The packed-B layout is what
+   holds this ratio down; losing it (e.g. someone "simplifies" the
+   transpose away) reintroduces the strided-read cliff.
+3. For every kernel present in both files, the highest-thread-count
+   speedup must not fall below SPEEDUP_KEEP of the baseline speedup.
+   Applied only where the baseline itself scales (speedup >=
+   SCALING_MIN): on few-core runners every speedup sits at ~1x inside
+   noise, and gating there would be flaky rather than protective.
+
+Only Python stdlib (json) — no third-party imports.
+"""
+
+import json
+import sys
+
+TB_RATIO_MAX_FULL = 1.5
+TB_RATIO_MAX_QUICK = 2.0
+SPEEDUP_KEEP = 0.6
+SCALING_MIN = 1.2
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {k["name"]: k for k in doc.get("kernels", [])}, doc
+
+
+def best_threads_sample(kernel):
+    """The sample at the highest thread count, or None."""
+    samples = kernel.get("parallel", [])
+    return max(samples, key=lambda s: s["threads"]) if samples else None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh, fresh_doc = load(argv[1])
+    baseline, _ = load(argv[2])
+    failures = []
+
+    if not fresh_doc.get("all_identical", False):
+        failures.append(
+            "fresh run reports all_identical=false: a parallel kernel "
+            "output differs from its serial baseline")
+
+    tb_limit = (TB_RATIO_MAX_QUICK if fresh_doc.get("quick", False)
+                else TB_RATIO_MAX_FULL)
+    if "matmul" in fresh and "matmul_tb" in fresh:
+        mm = fresh["matmul"]["serial_ms"]
+        tb = fresh["matmul_tb"]["serial_ms"]
+        if mm > 0 and tb > tb_limit * mm:
+            failures.append(
+                f"matmul_tb serial {tb:.4f}ms is {tb / mm:.2f}x matmul "
+                f"serial {mm:.4f}ms (limit {tb_limit}x): the packed-B "
+                "path has regressed")
+    else:
+        failures.append("fresh run is missing matmul/matmul_tb kernels")
+
+    for name, base_kernel in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"kernel '{name}' present in baseline but "
+                            "missing from fresh run")
+            continue
+        base_sample = best_threads_sample(base_kernel)
+        fresh_sample = best_threads_sample(fresh[name])
+        if base_sample is None or fresh_sample is None:
+            continue
+        base_speedup = base_sample["speedup"]
+        if base_speedup < SCALING_MIN:
+            continue  # baseline machine did not scale; ratio is noise
+        floor = SPEEDUP_KEEP * base_speedup
+        if fresh_sample["speedup"] < floor:
+            failures.append(
+                f"{name}: {fresh_sample['threads']}-thread speedup "
+                f"{fresh_sample['speedup']:.2f}x fell below floor "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x)")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(fresh)} kernels, "
+          f"simd={fresh_doc.get('simd', '?')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -64,6 +64,11 @@
 //   raw-rng                  rand()/srand()/clock()/time()/random_device
 //                            only inside src/common/rng.* — all other
 //                            randomness flows from a seeded gnndm::Rng
+//   simd-isolation           SIMD intrinsics, ISA headers, vector-ISA
+//                            #if forks, and __builtin_cpu_supports only
+//                            in src/tensor/simd* + src/common/
+//                            cpu_features.* — everything else uses the
+//                            dispatched SimdKernels table
 //   thread-id-in-stats       std::this_thread::get_id() must not appear in
 //                            src/: values derived from thread identity are
 //                            schedule-dependent and poison stats/output
@@ -330,6 +335,7 @@ const std::set<std::string>& KnownRules() {
       "thread-id-in-stats", "float-accum-in-parallel",
       "layering",           "transitive-include",
       "include-order",      "hot-path-alloc",
+      "simd-isolation",
   };
   return kRules;
 }
@@ -1012,6 +1018,94 @@ void CheckRawRng(const SourceFile& f, const std::vector<const Token*>& toks) {
                  "() is wall-clock/entropy-dependent; all randomness and "
                  "timing must flow from gnndm::Rng seeds or the telemetry "
                  "clocks");
+    }
+  }
+}
+
+/// Isolation rule: raw SIMD intrinsics, vector types, and vector-ISA
+/// feature tests may appear only in the per-tier kernel TUs
+/// (src/tensor/simd*) and the cpuid probe (src/common/cpu_features.*).
+/// Everything else calls through the dispatched SimdKernels table, so
+/// the fixed-lane determinism contract has exactly one audit surface and
+/// business logic cannot grow silent per-ISA forks.
+void CheckSimdIsolation(const SourceFile& f,
+                        const std::vector<const Token*>& toks) {
+  if (!f.InDir("src/") && !f.InDir("tools/") && !f.InDir("bench/") &&
+      !f.InDir("tests/")) {
+    return;
+  }
+  if (f.rel.rfind("src/tensor/simd", 0) == 0) return;
+  if (f.rel.rfind("src/common/cpu_features", 0) == 0) return;
+
+  static const std::set<std::string> kIsaHeaders = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "avxintrin.h",
+      "arm_neon.h",  "arm_sve.h",
+  };
+  for (const IncludeDirective& inc : f.includes) {
+    if (kIsaHeaders.count(inc.path) > 0) {
+      Report(f, inc.line, "simd-isolation",
+             "#include <" + inc.path +
+                 "> outside src/tensor/simd*: raw intrinsics live behind "
+                 "the dispatched SimdKernels table (tensor/simd.h)");
+    }
+  }
+
+  auto is_vector_intrinsic = [](const std::string& s) {
+    // x86: _mm_*/_mm256_*/_mm512_* calls and __m128/__m256/__m512 types.
+    if (s.rfind("_mm", 0) == 0) return true;
+    if (s.rfind("__m128", 0) == 0 || s.rfind("__m256", 0) == 0 ||
+        s.rfind("__m512", 0) == 0) {
+      return true;
+    }
+    // NEON: vector types (float32x4_t, uint32x4_t, ...) and the v*q_f32
+    // style op names.
+    if (s.rfind("float32x", 0) == 0 || s.rfind("float64x", 0) == 0 ||
+        s.rfind("float16x", 0) == 0 || s.rfind("uint32x", 0) == 0 ||
+        s.rfind("uint8x", 0) == 0 || s.rfind("int32x", 0) == 0 ||
+        s.rfind("vld1", 0) == 0 || s.rfind("vst1", 0) == 0) {
+      return true;
+    }
+    if (!s.empty() && s[0] == 'v' &&
+        (s.find("q_f32") != std::string::npos ||
+         s.find("q_u32") != std::string::npos ||
+         s.find("q_s32") != std::string::npos ||
+         s.find("_n_f32") != std::string::npos)) {
+      return true;
+    }
+    return false;
+  };
+  for (const Token* t : toks) {
+    if (t->kind != TokKind::kIdent) continue;
+    if (is_vector_intrinsic(t->text)) {
+      Report(f, t->line, "simd-isolation",
+             "SIMD intrinsic '" + t->text +
+                 "' outside src/tensor/simd*: add or extend a kernel in "
+                 "the dispatched SimdKernels table instead");
+    } else if (t->text == "__builtin_cpu_supports" ||
+               t->text == "__builtin_cpu_init") {
+      Report(f, t->line, "simd-isolation",
+             "CPU feature probing outside src/common/cpu_features.*: use "
+             "CpuHasAvx2Fma()/CpuHasNeon() so tier selection has one "
+             "truth");
+    }
+  }
+
+  // Vector-ISA #if forks (architecture macros like __x86_64__ stay
+  // legal — they gate compilation targets, not lane semantics).
+  static const char* kIsaMacros[] = {"__AVX", "__SSE", "__FMA__",
+                                     "__ARM_NEON", "__ARM_FEATURE"};
+  const std::vector<bool> pp = PreprocessorLines(f.lines);
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (!pp[i + 1]) continue;
+    for (const char* macro : kIsaMacros) {
+      if (f.lines[i].find(macro) != std::string::npos) {
+        Report(f, i + 1, "simd-isolation",
+               std::string("vector-ISA preprocessor fork on ") + macro +
+                   " outside src/tensor/simd*: per-tier code belongs in "
+                   "the kernel TUs");
+        break;
+      }
     }
   }
 }
@@ -1765,6 +1859,7 @@ void RunFileRules(const SourceFile& f) {
   CheckTimerUse(f, toks);
   CheckUnorderedIteration(f, toks);
   CheckRawRng(f, toks);
+  CheckSimdIsolation(f, toks);
   CheckThreadIdInStats(f, toks);
   CheckFloatAccumInParallel(f, toks);
   CheckHotPathAlloc(f, toks, f.tok_flags);

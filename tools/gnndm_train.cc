@@ -34,6 +34,7 @@
 #include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
 #include "sampling/neighbor_sampler.h"
+#include "tensor/simd.h"
 #include "transfer/pipeline.h"
 
 namespace gnndm {
@@ -121,6 +122,9 @@ int Main(int argc, char** argv) {
         "  --threads=N   compute threads for the parallel kernels\n"
         "                (0 = GNNDM_THREADS env or hardware default;\n"
         "                 results are byte-identical at any value)\n"
+        "  --simd=auto|scalar|avx2|neon  kernel instruction-set tier\n"
+        "                (auto = best supported, or GNNDM_SIMD env;\n"
+        "                 results are byte-identical on every tier)\n"
         "  --trace-out=FILE.json    Chrome trace (chrome://tracing or\n"
         "                           ui.perfetto.dev) of all pipeline spans\n"
         "  --metrics-out=FILE.json  metrics snapshot (counters/histograms)\n"
@@ -140,6 +144,15 @@ int Main(int argc, char** argv) {
   // gathers features in its constructor).
   if (flags.Has("threads")) {
     SetComputeThreads(static_cast<size_t>(flags.GetInt("threads", 0)));
+  }
+
+  // Pin the SIMD tier before any kernel runs. Purely a speed knob: every
+  // tier produces byte-identical results (fixed 8-lane reduction order).
+  if (Status simd_status =
+          SetSimdTierByName(flags.GetString("simd", "auto"));
+      !simd_status.ok()) {
+    std::fprintf(stderr, "--simd: %s\n", simd_status.ToString().c_str());
+    return 2;
   }
 
   // --- Dataset ---
