@@ -15,9 +15,30 @@
 #include "partition/metis_partitioner.h"
 #include "partition/partitioner.h"
 #include "partition/stream_partitioner.h"
+#include "tensor/simd.h"
+
+// Baked in by bench/CMakeLists.txt at configure time; unknown when the
+// tree is built outside git or with a bare Makefile.
+#ifndef GNNDM_GIT_SHA
+#define GNNDM_GIT_SHA "unknown"
+#endif
+#ifndef GNNDM_BUILD_TYPE
+#define GNNDM_BUILD_TYPE "unknown"
+#endif
 
 namespace gnndm {
 namespace bench {
+
+std::string RunMetaJson(const Flags& flags) {
+  const int64_t loader_workers =
+      flags.Has("loader-workers") ? flags.GetInt("loader-workers", 0)
+                                  : flags.GetInt("workers", 0);
+  return std::string("{\"git_sha\": \"") + GNNDM_GIT_SHA +
+         "\", \"build_type\": \"" + GNNDM_BUILD_TYPE +
+         "\", \"threads\": " + std::to_string(ComputeThreads()) +
+         ", \"simd\": \"" + SimdTierName(ActiveSimdTier()) +
+         "\", \"loader_workers\": " + std::to_string(loader_workers) + "}";
+}
 
 void Emit(const Table& table, const Flags& flags,
           const std::string& file_stem) {
@@ -34,7 +55,8 @@ void Emit(const Table& table, const Flags& flags,
     // Figure JSON: the table plus the metrics snapshot accumulated while
     // producing it (cache-hit rates, queue depths, ...), so the artifact
     // explains the headline numbers on its own.
-    const std::string json = "{\"table\": " + table.ToJson() +
+    const std::string json = "{\"run_meta\": " + RunMetaJson(flags) +
+                             ", \"table\": " + table.ToJson() +
                              ", \"metrics\": " +
                              telemetry::MetricsRegistry::Get().ToJson() + "}";
     Status lint = telemetry::JsonLint(json);

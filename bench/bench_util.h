@@ -19,6 +19,14 @@ namespace bench {
 void Emit(const Table& table, const Flags& flags,
           const std::string& file_stem);
 
+/// Provenance block embedded as `"run_meta"` in every BENCH_*.json: git
+/// sha and build type (baked in at configure time), the resolved compute
+/// thread count, the active SIMD tier, and the loader-worker count the
+/// run was invoked with (from --loader-workers/--workers, 0 when unset).
+/// Two artifacts that disagree here are not comparable — bench_compare.py
+/// prints both blocks on any mismatch.
+std::string RunMetaJson(const Flags& flags);
+
 /// Loads the dataset named by `--dataset=` (default `fallback`); dies on
 /// unknown names.
 Dataset LoadOrDie(const Flags& flags, const std::string& fallback,

@@ -202,7 +202,9 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 2;
     }
-    std::fprintf(f, "{\n  \"quick\": %s,\n  \"reps\": %d,\n",
+    std::fprintf(f, "{\n  \"run_meta\": %s,\n",
+                 bench::RunMetaJson(flags).c_str());
+    std::fprintf(f, "  \"quick\": %s,\n  \"reps\": %d,\n",
                  quick ? "true" : "false", reps);
     std::fprintf(f, "  \"dataset\": \"%s\",\n  \"batches\": %zu,\n",
                  dataset.name.c_str(), batches.size());

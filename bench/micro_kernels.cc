@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
@@ -357,7 +358,9 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 2;
     }
-    std::fprintf(f, "{\n  \"quick\": %s,\n  \"reps\": %d,\n",
+    std::fprintf(f, "{\n  \"run_meta\": %s,\n",
+                 bench::RunMetaJson(flags).c_str());
+    std::fprintf(f, "  \"quick\": %s,\n  \"reps\": %d,\n",
                  quick ? "true" : "false", reps);
     std::fprintf(f, "  \"simd\": \"%s\",\n", simd_name);
     std::fprintf(f, "  \"all_identical\": %s,\n",

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/flight_recorder.h"
+
 namespace gnndm {
 namespace {
 
@@ -63,6 +65,15 @@ CheckFailure::~CheckFailure() {
   const std::string extra = stream_.str();
   if (!extra.empty()) std::cerr << " — " << extra;
   std::cerr << std::endl;
+  // Crash flight recorder: dump the per-thread event rings + metrics
+  // snapshot before dying, so the post-mortem shows what the pipeline
+  // was doing (no-op unless a post-mortem path is configured).
+  std::string reason = std::string("check failed: ") + condition_;
+  if (!extra.empty()) reason += " — " + extra;
+  if (flight_recorder::DumpPostMortem(reason)) {
+    std::cerr << "[postmortem written to " << flight_recorder::PostMortemPath()
+              << "]" << std::endl;
+  }
   std::abort();
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/annotations.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -76,7 +77,7 @@ void RunChunks(size_t num_chunks, FunctionRef<void(size_t)> fn) {
   std::shared_ptr<ThreadPool> pool = AcquirePool(threads);
   if (pool == nullptr || num_chunks <= 1 || tls_in_parallel_region) {
     if (telemetry::Enabled()) {
-      telemetry::GetCounter("parallel.serial_loops").Increment();
+      telemetry::GetCounter(telemetry_names::kParallelSerialLoops).Increment();
     }
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
@@ -93,8 +94,8 @@ void RunChunks(size_t num_chunks, FunctionRef<void(size_t)> fn) {
   telemetry::AtomicDouble drain_sum;
   telemetry::AtomicDouble drain_max;
   if (sample_imbalance) {
-    telemetry::GetCounter("parallel.loops").Increment();
-    telemetry::GetCounter("parallel.chunks").Add(num_chunks);
+    telemetry::GetCounter(telemetry_names::kParallelLoops).Increment();
+    telemetry::GetCounter(telemetry_names::kParallelChunks).Add(num_chunks);
   }
 
   auto drain = [&next, &fn, num_chunks, &state, sample_imbalance, &drain_sum,
@@ -142,7 +143,7 @@ void RunChunks(size_t num_chunks, FunctionRef<void(size_t)> fn) {
     const double executors = static_cast<double>(helpers + 1);
     const double mean = drain_sum.Value() / executors;
     if (mean > 0.0) {
-      telemetry::GetHistogram("parallel.imbalance",
+      telemetry::GetHistogram(telemetry_names::kParallelImbalance,
                               telemetry::LinearBuckets(1.0, 0.25, 13))
           .Observe(drain_max.Value() / mean);
     }

@@ -260,6 +260,17 @@ void MetricsRegistry::Reset() {
 
 std::string MetricsRegistry::ToJson() const {
   MutexLock lock(mu_);
+  return ToJsonLocked();
+}
+
+bool MetricsRegistry::ToJsonTry(std::string* out) const {
+  if (!mu_.TryLock()) return false;
+  *out = ToJsonLocked();
+  mu_.Unlock();
+  return true;
+}
+
+std::string MetricsRegistry::ToJsonLocked() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -394,6 +405,20 @@ void Tracer::AddVirtualSpan(const char* name, double begin_s, double dur_s,
       {name, ClockDomain::kVirtual, begin_s, dur_s, lane, batch});
 }
 
+void Tracer::AddCounterSample(const char* name, double value) {
+  if (!Enabled() || !active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  MutexLock lock(buffer.mu);
+  TraceEvent e;
+  e.name = name;
+  e.domain = ClockDomain::kWall;
+  e.ts = WallNow();
+  e.track = buffer.track;
+  e.counter = true;
+  e.value = value;
+  buffer.events.push_back(std::move(e));
+}
+
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> out;
   MutexLock lock(mu_);
@@ -445,13 +470,23 @@ std::string Tracer::ToChromeJson() const {
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     const bool wall = e.domain == ClockDomain::kWall;
-    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
-           (wall ? "wall" : "virtual") + "\", \"ph\": \"X\", \"ts\": " +
-           JsonNum(e.ts * 1e6) + ", \"dur\": " + JsonNum(e.dur * 1e6) +
-           ", \"pid\": " + (wall ? "1" : "2") +
-           ", \"tid\": " + std::to_string(e.track);
-    if (e.batch >= 0) {
-      out += ", \"args\": {\"batch\": " + std::to_string(e.batch) + "}";
+    if (e.counter) {
+      // Chrome counter sample: the value timeline (e.g. reorder-ring
+      // occupancy) renders as a stacked area track in Perfetto.
+      out += "  {\"name\": \"" + JsonEscape(e.name) +
+             "\", \"cat\": \"counter\", \"ph\": \"C\", \"ts\": " +
+             JsonNum(e.ts * 1e6) + ", \"pid\": " + (wall ? "1" : "2") +
+             ", \"tid\": " + std::to_string(e.track) +
+             ", \"args\": {\"value\": " + JsonNum(e.value) + "}";
+    } else {
+      out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+             (wall ? "wall" : "virtual") + "\", \"ph\": \"X\", \"ts\": " +
+             JsonNum(e.ts * 1e6) + ", \"dur\": " + JsonNum(e.dur * 1e6) +
+             ", \"pid\": " + (wall ? "1" : "2") +
+             ", \"tid\": " + std::to_string(e.track);
+      if (e.batch >= 0) {
+        out += ", \"args\": {\"batch\": " + std::to_string(e.batch) + "}";
+      }
     }
     out += i + 1 < events.size() ? "},\n" : "}\n";
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/flight_recorder.h"
 #include "common/status.h"
 #include "common/table.h"
 
@@ -152,12 +153,21 @@ class MetricsRegistry {
   /// histograms carry count/sum/p50/p90/p99 plus raw bucket counts.
   std::string ToJson() const GNNDM_EXCLUDES(mu_);
 
+  /// Non-blocking ToJson for crash paths (the flight-recorder dump): a
+  /// GNNDM_CHECK can fire while the calling thread already holds the
+  /// registry mutex (e.g. inside Histogram's bounds checks), where a
+  /// blocking snapshot would self-deadlock. Returns false without
+  /// touching `out` when the mutex is contended.
+  bool ToJsonTry(std::string* out) const GNNDM_EXCLUDES(mu_);
+
   /// Aligned end-of-run table (one row per instrument), zero-valued
   /// instruments omitted when `skip_zero`.
   Table ToTable(bool skip_zero = true) const GNNDM_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
+
+  std::string ToJsonLocked() const GNNDM_REQUIRES(mu_);
 
   mutable Mutex mu_{"metrics.registry_mu"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
@@ -189,7 +199,9 @@ enum VirtualLane : uint32_t {
   kLaneDist = 3,  ///< distributed synchronous rounds
 };
 
-/// One recorded span (begin + duration, Chrome "X" complete event).
+/// One recorded span (begin + duration, Chrome "X" complete event) or —
+/// when `counter` is set — one counter sample (Chrome "C" event: `dur`
+/// is unused and `value` carries the sample).
 struct TraceEvent {
   std::string name;
   ClockDomain domain = ClockDomain::kWall;
@@ -197,6 +209,8 @@ struct TraceEvent {
   double dur = 0.0;  ///< seconds
   uint32_t track = 0;  ///< wall: per-thread index; virtual: VirtualLane
   int64_t batch = -1;  ///< optional batch index (emitted as args.batch)
+  bool counter = false;  ///< "C" counter sample instead of an "X" span
+  double value = 0.0;    ///< counter sample value (counter events only)
 };
 
 /// Records spans into per-thread buffers while active. Use the singleton:
@@ -224,6 +238,11 @@ class Tracer {
   /// them by their cumulative virtual time so epochs concatenate.
   void AddVirtualSpan(const char* name, double begin_s, double dur_s,
                       uint32_t lane, int64_t batch = -1) GNNDM_EXCLUDES(mu_);
+
+  /// Records a wall-domain counter sample ("C" event) at WallNow() on the
+  /// calling thread's track — e.g. the reorder-ring occupancy timeline
+  /// that gnndm_traceq reconstructs. No-op when inactive.
+  void AddCounterSample(const char* name, double value) GNNDM_EXCLUDES(mu_);
 
   /// All recorded events; per-thread recording order is preserved (buffers
   /// are concatenated thread by thread).
@@ -260,7 +279,14 @@ class Tracer {
 
 /// RAII wall-clock span: captures the begin time at construction and
 /// records the complete event at scope exit. Constructing while the tracer
-/// is inactive records nothing and allocates nothing.
+/// is inactive records nothing into the trace and allocates nothing.
+///
+/// Every span additionally drops begin/end events into the crash flight
+/// recorder (common/flight_recorder.h) — independent of the tracer, so a
+/// post-mortem shows the last spans of each thread even in runs that
+/// never started tracing. The recorder path is lock-free and
+/// allocation-free; names are string literals, satisfying its
+/// static-storage contract.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, int64_t batch = -1)
@@ -268,11 +294,19 @@ class ScopedSpan {
         batch_(batch),
         active_(Enabled() && Tracer::Get().active()) {
     if (active_) begin_ = Tracer::Get().WallNow();
+    if (flight_recorder::Enabled()) {
+      flight_recorder::Record(flight_recorder::EventKind::kSpanBegin, name_,
+                              batch_);
+    }
   }
   ~ScopedSpan() {
     if (active_) {
       Tracer& tracer = Tracer::Get();
       tracer.AddWallSpan(name_, begin_, tracer.WallNow() - begin_, batch_);
+    }
+    if (flight_recorder::Enabled()) {
+      flight_recorder::Record(flight_recorder::EventKind::kSpanEnd, name_,
+                              batch_);
     }
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 
 namespace gnndm {
 
@@ -26,7 +27,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  if (telemetry::Enabled()) telemetry::GetCounter("pool.tasks").Increment();
+  if (telemetry::Enabled()) telemetry::GetCounter(telemetry_names::kPoolTasks).Increment();
   {
     MutexLock lock(mu_);
     GNNDM_CHECK(!stop_) << "ThreadPool::Submit after shutdown began";

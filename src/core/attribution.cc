@@ -1,0 +1,152 @@
+#include "core/attribution.h"
+
+#include <string>
+
+#include "common/table.h"
+#include "common/telemetry.h"
+#include "common/telemetry_names.h"
+
+namespace gnndm {
+
+namespace {
+
+/// Share of `part` in `total`, in per-mille (integer so it can live in a
+/// gauge); 0 when the total is empty.
+int64_t PerMille(double part, double total) {
+  if (total <= 0.0) return 0;
+  return static_cast<int64_t>(1000.0 * part / total);
+}
+
+/// The virtual-stage argmax behind every non-starved verdict. `wall_*`
+/// refine a batch-prep win into sample- vs gather-bound when observed.
+Bottleneck VirtualArgmax(double prep, double transfer, double compute,
+                         double wall_sample, double wall_gather) {
+  // Tie priority prep > transfer > compute: >= keeps the paper's
+  // batch-preparation default when stages are equal (e.g. all zero).
+  if (prep >= transfer && prep >= compute) {
+    return wall_gather > wall_sample ? Bottleneck::kGatherBound
+                                     : Bottleneck::kSampleBound;
+  }
+  if (transfer >= compute) return Bottleneck::kTransferBound;
+  return Bottleneck::kComputeBound;
+}
+
+}  // namespace
+
+const char* BottleneckName(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kSampleBound:
+      return "sample-bound";
+    case Bottleneck::kGatherBound:
+      return "gather-bound";
+    case Bottleneck::kTransferBound:
+      return "transfer-bound";
+    case Bottleneck::kComputeBound:
+      return "compute-bound";
+    case Bottleneck::kLoaderStarved:
+      return "loader-starved";
+  }
+  return "?";
+}
+
+EpochAttribution AttributeEpoch(uint32_t epoch,
+                                const std::vector<BatchAttribution>& batches,
+                                double pipeline_seconds,
+                                size_t loader_workers) {
+  EpochAttribution out;
+  out.epoch = epoch;
+  out.batches = batches.size();
+  out.pipeline_seconds = pipeline_seconds;
+  // Plain += in delivery order — the bit-exactness contract with
+  // EpochStats (see header). Do not reorder or tree-reduce.
+  for (const BatchAttribution& b : batches) {
+    out.sample += b.sample;
+    out.extract += b.extract;
+    out.load += b.load;
+    out.compute += b.compute;
+    out.wall_sample += b.wall_sample;
+    out.wall_gather += b.wall_gather;
+    out.wall_queue_wait += b.wall_queue_wait;
+    out.wall_compute += b.wall_compute;
+    out.wall_optimizer += b.wall_optimizer;
+  }
+  // Loader starvation is a wall-clock phenomenon: the consumer's epoch
+  // wall time is wait + compute + optimizer; waiting through more than
+  // half of it means the producers cannot keep up.
+  const double consumer_wall =
+      out.wall_queue_wait + out.wall_compute + out.wall_optimizer;
+  if (loader_workers > 0 && consumer_wall > 0.0 &&
+      out.wall_queue_wait > 0.5 * consumer_wall) {
+    out.verdict = Bottleneck::kLoaderStarved;
+  } else {
+    out.verdict =
+        VirtualArgmax(out.sample, out.extract + out.load, out.compute,
+                      out.wall_sample, out.wall_gather);
+  }
+  return out;
+}
+
+Bottleneck SteadyStateVerdict(const std::vector<EpochAttribution>& epochs) {
+  if (epochs.empty()) return Bottleneck::kSampleBound;
+  if (epochs.size() == 1) return epochs.front().verdict;
+  // Steady state = every epoch after the first; re-derive one verdict
+  // from the summed stages rather than majority-voting per-epoch labels
+  // so a long run with a noisy epoch still lands on the dominant stage.
+  double prep = 0.0, transfer = 0.0, compute = 0.0;
+  double wall_sample = 0.0, wall_gather = 0.0, wall_wait = 0.0,
+         wall_busy = 0.0;
+  bool starvable = false;
+  for (size_t i = 1; i < epochs.size(); ++i) {
+    const EpochAttribution& e = epochs[i];
+    prep += e.sample;
+    transfer += e.extract + e.load;
+    compute += e.compute;
+    wall_sample += e.wall_sample;
+    wall_gather += e.wall_gather;
+    wall_wait += e.wall_queue_wait;
+    wall_busy += e.wall_compute + e.wall_optimizer;
+    if (e.verdict == Bottleneck::kLoaderStarved) starvable = true;
+  }
+  const double consumer_wall = wall_wait + wall_busy;
+  if (starvable && consumer_wall > 0.0 && wall_wait > 0.5 * consumer_wall) {
+    return Bottleneck::kLoaderStarved;
+  }
+  return VirtualArgmax(prep, transfer, compute, wall_sample, wall_gather);
+}
+
+Table AttributionReport(const std::vector<EpochAttribution>& epochs) {
+  Table table("pipeline stall attribution (virtual stage seconds)");
+  table.SetHeader({"epoch", "batches", "sample", "extract", "load",
+                   "compute", "queue_wait(w)", "verdict"});
+  for (const EpochAttribution& e : epochs) {
+    table.AddRow({std::to_string(e.epoch), std::to_string(e.batches),
+                  Table::Num(e.sample, 6), Table::Num(e.extract, 6),
+                  Table::Num(e.load, 6), Table::Num(e.compute, 6),
+                  Table::Num(e.wall_queue_wait, 6),
+                  BottleneckName(e.verdict)});
+  }
+  table.AddRow({"steady", "", "", "", "", "", "",
+                BottleneckName(SteadyStateVerdict(epochs))});
+  return table;
+}
+
+void PublishAttributionMetrics(const EpochAttribution& epoch) {
+  if (!telemetry::Enabled()) return;
+  namespace names = telemetry_names;
+  const double total =
+      epoch.sample + epoch.extract + epoch.load + epoch.compute;
+  telemetry::GetGauge(names::kAttribVerdict)
+      .Set(static_cast<int64_t>(epoch.verdict));
+  telemetry::GetGauge(names::kAttribSamplePm)
+      .Set(PerMille(epoch.sample, total));
+  telemetry::GetGauge(names::kAttribTransferPm)
+      .Set(PerMille(epoch.extract + epoch.load, total));
+  telemetry::GetGauge(names::kAttribComputePm)
+      .Set(PerMille(epoch.compute, total));
+  const double consumer_wall =
+      epoch.wall_queue_wait + epoch.wall_compute + epoch.wall_optimizer;
+  telemetry::GetGauge(names::kAttribQueueWaitPm)
+      .Set(PerMille(epoch.wall_queue_wait, consumer_wall));
+}
+
+}  // namespace gnndm

@@ -1,6 +1,8 @@
 #include "core/batch_consumer.h"
 
 #include "common/telemetry.h"
+#include "common/timer.h"
+#include "core/attribution.h"
 #include "core/batch_source.h"
 #include "core/costs.h"
 #include "graph/dataset.h"
@@ -28,7 +30,8 @@ BatchConsumer::BatchConsumer(const Dataset& dataset,
       num_mlp_layers_(num_mlp_layers) {}
 
 ConsumeOutcome BatchConsumer::Consume(PreparedBatch& batch,
-                                      const FeatureCache* cache) {
+                                      const FeatureCache* cache,
+                                      BatchAttribution* attrib) {
   ConsumeOutcome out;
   const SampledSubgraph& sg = batch.subgraph;
 
@@ -60,20 +63,35 @@ ConsumeOutcome BatchConsumer::Consume(PreparedBatch& batch,
   // --- NN computation: real forward/backward, virtual GPU time. The
   // optimizer step (and, distributed, the gradient average) is the
   // caller's. ---
-  TRACE_SPAN("trainer.nn");
-  const Tensor& logits = model_.Forward(sg, batch.input, /*train=*/true);
-  labels_scratch_.resize(batch.seeds.size());
-  for (size_t i = 0; i < batch.seeds.size(); ++i) {
-    labels_scratch_[i] = dataset_.labels[batch.seeds[i]];
+  {
+    TRACE_SPAN("trainer.nn");
+    // timer-ok: wall compute for stall attribution (DESIGN.md §14)
+    WallTimer nn_timer;
+    const Tensor& logits = model_.Forward(sg, batch.input, /*train=*/true);
+    labels_scratch_.resize(batch.seeds.size());
+    for (size_t i = 0; i < batch.seeds.size(); ++i) {
+      labels_scratch_[i] = dataset_.labels[batch.seeds[i]];
+    }
+    const double loss =
+        SoftmaxCrossEntropy(logits, labels_scratch_, d_logits_scratch_);
+    model_.Backward(sg, d_logits_scratch_);
+    out.loss_sum = loss * static_cast<double>(batch.seeds.size());
+    out.times.nn_compute = device_.NnStepSeconds(
+        EstimateGnnFlops(sg, dataset_.features.dim(), hidden_dim_,
+                         dataset_.num_classes, num_mlp_layers_),
+        num_conv_layers_ + num_mlp_layers_);
+    if (attrib != nullptr) attrib->wall_compute = nn_timer.Seconds();
   }
-  const double loss =
-      SoftmaxCrossEntropy(logits, labels_scratch_, d_logits_scratch_);
-  model_.Backward(sg, d_logits_scratch_);
-  out.loss_sum = loss * static_cast<double>(batch.seeds.size());
-  out.times.nn_compute = device_.NnStepSeconds(
-      EstimateGnnFlops(sg, dataset_.features.dim(), hidden_dim_,
-                       dataset_.num_classes, num_mlp_layers_),
-      num_conv_layers_ + num_mlp_layers_);
+  if (attrib != nullptr) {
+    attrib->index = batch.index;
+    attrib->sample = out.times.batch_prep;
+    attrib->extract = out.times.extract;
+    attrib->load = out.times.load;
+    attrib->compute = out.times.nn_compute;
+    attrib->wall_sample = batch.sample_seconds;
+    attrib->wall_gather = batch.gather_seconds;
+    attrib->wall_queue_wait = batch.queue_wait_seconds;
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/attribution.h"
 #include "core/batch_source.h"
 #include "graph/dataset.h"
 #include "nn/model.h"
@@ -50,8 +51,12 @@ class BatchConsumer {
   /// Consumes one prepared batch: transfer accounting (gathering the
   /// input first if the source did not stage it), forward/backward, and
   /// stage-time attribution. `cache` may be null; with multiple dist
-  /// workers each passes its own.
-  ConsumeOutcome Consume(PreparedBatch& batch, const FeatureCache* cache);
+  /// workers each passes its own. When `attrib` is non-null it receives
+  /// this batch's stall-attribution record (virtual stage seconds from
+  /// the outcome, producer/consumer wall seconds from the batch, NN wall
+  /// seconds measured here); the caller adds its optimizer wall time.
+  ConsumeOutcome Consume(PreparedBatch& batch, const FeatureCache* cache,
+                         BatchAttribution* attrib = nullptr);
 
  private:
   const Dataset& dataset_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 #include "common/timer.h"
 #include "graph/csr_graph.h"
 #include "graph/dataset.h"
@@ -35,6 +36,9 @@ PreparedBatch ProduceBatch(const CsrGraph& graph,
   PreparedBatch prepared;
   prepared.index = index;
   prepared.seeds = std::move(seeds);
+  const bool observe = telemetry::Enabled();
+  // timer-ok: producer-side stall attribution (DESIGN.md §14)
+  WallTimer stage_timer;
   if (sampler != nullptr) {
     Rng rng(BatchRngSeed(seed, index));
     {
@@ -47,11 +51,14 @@ PreparedBatch ProduceBatch(const CsrGraph& graph,
     // is just the seed rows (the Fig 2 contrast).
     prepared.subgraph.node_ids.push_back(prepared.seeds);
   }
+  if (observe) prepared.sample_seconds = stage_timer.Seconds();
+  stage_timer.Restart();
   {
     TRACE_SPAN("loader.gather", index);
     TransferEngine::Gather(prepared.subgraph.input_vertices(), features,
                            prepared.input);
   }
+  if (observe) prepared.gather_seconds = stage_timer.Seconds();
   prepared.input_ready = true;
   return prepared;
 }
@@ -76,7 +83,11 @@ std::optional<PreparedBatch> InlineBatchSource::Next() {
   PreparedBatch batch = ProduceBatch(graph_, features_, sampler_, seed_, i,
                                      std::move(batches_[i]));
   if (telemetry::Enabled()) {
-    telemetry::GetCounter("loader.batches").Increment();
+    telemetry::GetCounter(telemetry_names::kLoaderBatches).Increment();
+    // Inline delivery never waits; observing the zero keeps the
+    // reconciliation invariant (histogram count == delivered batches,
+    // sum == Σ queue_wait_seconds) uniform across source kinds.
+    WaitHistogram(telemetry_names::kLoaderConsumerWaitSeconds).Observe(0.0);
   }
   return batch;
 }
@@ -122,7 +133,7 @@ void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
   // Per-worker instrument names are built once; the hot loop only bumps
   // pre-resolved counters.
   telemetry::Counter& produced = telemetry::GetCounter(
-      "loader.worker" + std::to_string(worker_id) + ".produced");
+      telemetry_names::LoaderWorkerProduced(worker_id));
   for (;;) {
     uint32_t i = 0;
     {
@@ -146,10 +157,11 @@ void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
         window_open_.Wait(mu_);
       }
       if (telemetry::Enabled()) {
-        WaitHistogram("loader.producer_wait_seconds")
+        WaitHistogram(telemetry_names::kLoaderProducerWaitSeconds)
             .Observe(wait_timer.Seconds());
         if (waited) {
-          telemetry::GetCounter("loader.worker_window_waits").Increment();
+          telemetry::GetCounter(telemetry_names::kLoaderWorkerWindowWaits)
+              .Increment();
         }
       }
       if (stop_) return;
@@ -157,8 +169,11 @@ void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
       ++buffered_;
       if (telemetry::Enabled()) {
         produced.Increment();
-        telemetry::GetGauge("loader.reorder_occupancy")
+        telemetry::GetGauge(telemetry_names::kLoaderReorderOccupancy)
             .Set(static_cast<int64_t>(buffered_));
+        telemetry::Tracer::Get().AddCounterSample(
+            telemetry_names::kLoaderReorderOccupancy,
+            static_cast<double>(buffered_));
       }
     }
     // The consumer only proceeds once slot next_deliver fills; a later
@@ -172,15 +187,13 @@ std::optional<PreparedBatch> AsyncBatchSource::Next() {
   {
     // timer-ok: measures condvar wait, not a pipeline stage.
     WallTimer wait_timer;
+    const double wait_begin =
+        telemetry::Enabled() ? telemetry::Tracer::Get().WallNow() : 0.0;
     MutexLock lock(mu_);
     const size_t slot = next_deliver_ % queue_depth_;
     while (!stop_ && next_deliver_ < batches_.size() &&
            !reorder_[slot].has_value()) {
       batch_ready_.Wait(mu_);
-    }
-    if (telemetry::Enabled()) {
-      WaitHistogram("loader.consumer_wait_seconds")
-          .Observe(wait_timer.Seconds());
     }
     if (stop_ || next_deliver_ >= batches_.size()) return std::nullopt;
     batch = std::move(reorder_[slot]);
@@ -188,9 +201,26 @@ std::optional<PreparedBatch> AsyncBatchSource::Next() {
     --buffered_;
     ++next_deliver_;
     if (telemetry::Enabled()) {
-      telemetry::GetCounter("loader.batches").Increment();
-      telemetry::GetGauge("loader.reorder_occupancy")
+      // Delivered-only observation: the histogram's count equals the
+      // delivered-batch count and its sum reconciles bit-exact with the
+      // per-batch queue_wait_seconds field (single consumer thread, the
+      // same doubles added in the same order) — asserted by
+      // attribution_test. The final wait before std::nullopt is not a
+      // batch stall and is deliberately not observed.
+      const double wait = wait_timer.Seconds();
+      batch->queue_wait_seconds = wait;
+      WaitHistogram(telemetry_names::kLoaderConsumerWaitSeconds)
+          .Observe(wait);
+      telemetry::GetCounter(telemetry_names::kLoaderBatches).Increment();
+      telemetry::GetGauge(telemetry_names::kLoaderReorderOccupancy)
           .Set(static_cast<int64_t>(buffered_));
+      telemetry::Tracer& tracer = telemetry::Tracer::Get();
+      tracer.AddCounterSample(telemetry_names::kLoaderReorderOccupancy,
+                              static_cast<double>(buffered_));
+      // Wall span of the stall itself, so gnndm_traceq can judge loader
+      // starvation from the trace alone.
+      tracer.AddWallSpan("loader.consumer_wait", wait_begin, wait,
+                         static_cast<int64_t>(batch->index));
     }
   }
   // Delivery opened the window by one index; several producers may have

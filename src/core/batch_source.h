@@ -27,6 +27,14 @@ struct PreparedBatch {
   /// source when `input_ready`; otherwise the consumer gathers them.
   Tensor input;
   bool input_ready = false;
+  /// Wall-clock stall attribution (core/attribution.h): producer-side
+  /// sample/gather seconds and the consumer's reorder-ring wait for this
+  /// batch. Observation only — filled when telemetry is enabled, zero
+  /// otherwise; never fed back into batch content, so the delivered
+  /// stream stays byte-identical either way.
+  double sample_seconds = 0.0;
+  double gather_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
 };
 
 /// The one batch data plane: everything that turns a list of seed

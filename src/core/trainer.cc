@@ -8,6 +8,8 @@
 #include "common/parallel_for.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/timer.h"
+#include "core/attribution.h"
 #include "core/batch_consumer.h"
 #include "core/batch_source.h"
 #include "core/convergence.h"
@@ -98,10 +100,16 @@ Trainer::Trainer(const Dataset& dataset, const TrainerConfig& config)
 }
 
 StageTimes Trainer::ConsumeTrainingBatch(PreparedBatch& batch,
-                                         EpochStats& stats) {
+                                         EpochStats& stats,
+                                         BatchAttribution& attrib) {
   ConsumeOutcome out =
-      consumer_->Consume(batch, has_cache_ ? &cache_ : nullptr);
-  optimizer_->Step();
+      consumer_->Consume(batch, has_cache_ ? &cache_ : nullptr, &attrib);
+  {
+    // timer-ok: optimizer wall share for stall attribution (DESIGN.md §14)
+    WallTimer opt_timer;
+    optimizer_->Step();
+    attrib.wall_optimizer = opt_timer.Seconds();
+  }
   stats.involved_vertices += out.involved_vertices;
   stats.involved_edges += out.involved_edges;
   stats.extract_seconds += out.transfer.extract_seconds;
@@ -127,6 +135,8 @@ EpochStats Trainer::TrainEpoch() {
                                         stats.batch_size, rng_);
   std::vector<StageTimes> stage_times;
   stage_times.reserve(batches.size());
+  std::vector<BatchAttribution> batch_attribs;
+  batch_attribs.reserve(batches.size());
   // One epoch = one BatchSource. The per-epoch seed (not the shared rng_)
   // drives all batch sampling, so the delivered stream is byte-identical
   // whether batches are prepared inline or by N workers at any prefetch
@@ -139,7 +149,9 @@ EpochStats Trainer::TrainEpoch() {
       dataset_.graph, dataset_.features, std::move(batches),
       model_->num_hops() > 0 ? &sampler_ : nullptr, source_options);
   while (auto prepared = source->Next()) {
-    stage_times.push_back(ConsumeTrainingBatch(*prepared, stats));
+    BatchAttribution attrib;
+    stage_times.push_back(ConsumeTrainingBatch(*prepared, stats, attrib));
+    batch_attribs.push_back(attrib);
   }
   PipelineResult pipeline = SimulatePipeline(stage_times, config_.pipeline);
   stats.epoch_seconds = pipeline.total_seconds;
@@ -170,6 +182,11 @@ EpochStats Trainer::TrainEpoch() {
   if (!dataset_.split.train.empty()) {
     stats.train_loss /= static_cast<double>(dataset_.split.train.size());
   }
+  stats.attribution = AttributeEpoch(epoch_, batch_attribs,
+                                     pipeline.total_seconds,
+                                     EffectiveLoaderWorkers());
+  attribution_history_.push_back(stats.attribution);
+  PublishAttributionMetrics(stats.attribution);
   total_seconds_ += stats.epoch_seconds;
   ++epoch_;
   return stats;

@@ -9,6 +9,7 @@
 #include "batch/batch_schedule.h"
 #include "batch/batch_selector.h"
 #include "common/rng.h"
+#include "core/attribution.h"
 #include "core/batch_consumer.h"
 #include "core/batch_source.h"
 #include "core/convergence.h"
@@ -102,6 +103,12 @@ struct EpochStats {
   uint64_t bytes_transferred = 0;
   uint64_t rows_from_cache = 0;
   uint64_t rows_requested = 0;
+  /// Stall attribution for this epoch (core/attribution.h). Its virtual
+  /// stage sums reconcile bit-exact with the fields above:
+  /// attribution.sample == batch_prep_seconds, .extract ==
+  /// extract_seconds, .load == load_seconds, .compute == nn_seconds
+  /// (asserted by attribution_test).
+  EpochAttribution attribution;
 };
 
 /// End-to-end single-worker mini-batch GNN trainer: batch selection →
@@ -130,6 +137,11 @@ class Trainer {
                                                uint32_t patience = 10);
 
   const ConvergenceTracker& tracker() const { return tracker_; }
+  /// Per-epoch stall attribution, one entry per TrainEpoch call in order
+  /// (feeds the --report table and the steady-state verdict).
+  const std::vector<EpochAttribution>& attribution_history() const {
+    return attribution_history_;
+  }
   double total_virtual_seconds() const { return total_seconds_; }
   GnnModel& model() { return *model_; }
   uint32_t epochs_run() const { return epoch_; }
@@ -141,8 +153,10 @@ class Trainer {
 
  private:
   /// Consumes one prepared batch through the shared BatchConsumer tail,
-  /// steps the optimizer, and folds the outcome into `stats`.
-  StageTimes ConsumeTrainingBatch(PreparedBatch& batch, EpochStats& stats);
+  /// steps the optimizer, and folds the outcome into `stats`; `attrib`
+  /// receives the batch's stall-attribution record.
+  StageTimes ConsumeTrainingBatch(PreparedBatch& batch, EpochStats& stats,
+                                  BatchAttribution& attrib);
 
   /// Producer workers resolved from loader_workers/async_batch_loading.
   size_t EffectiveLoaderWorkers() const;
@@ -162,6 +176,7 @@ class Trainer {
   FeatureCache cache_;
   bool has_cache_ = false;
   ConvergenceTracker tracker_;
+  std::vector<EpochAttribution> attribution_history_;
   double total_seconds_ = 0.0;
   uint32_t epoch_ = 0;
 };

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
+#include "core/attribution.h"
 #include "core/batch_consumer.h"
 #include "core/batch_source.h"
 #include "core/convergence.h"
@@ -91,7 +93,8 @@ bool DistTrainer::IsLocal(VertexId v, uint32_t worker) const {
 
 double DistTrainer::RunWorkerBatch(uint32_t worker,
                                    const std::vector<VertexId>& batch,
-                                   DistEpochStats& stats, double& loss_sum) {
+                                   DistEpochStats& stats, double& loss_sum,
+                                   std::vector<BatchAttribution>& attribs) {
   Worker& w = workers_[worker];
   WorkerStats& ledger = stats.workers[worker];
 
@@ -136,9 +139,12 @@ double DistTrainer::RunWorkerBatch(uint32_t worker,
   ledger.remote_structure_bytes += structure_bytes;
   ledger.remote_feature_bytes += feature_bytes;
   if (telemetry::Enabled()) {
-    telemetry::GetCounter("dist.structure_bytes").Add(structure_bytes);
-    telemetry::GetCounter("dist.feature_bytes").Add(feature_bytes);
-    telemetry::GetCounter("dist.peer_contacts").Add(peers.size());
+    telemetry::GetCounter(telemetry_names::kDistStructureBytes)
+        .Add(structure_bytes);
+    telemetry::GetCounter(telemetry_names::kDistFeatureBytes)
+        .Add(feature_bytes);
+    telemetry::GetCounter(telemetry_names::kDistPeerContacts)
+        .Add(peers.size());
   }
   const double network_seconds =
       network_.Seconds(structure_bytes + feature_bytes, peers.size());
@@ -147,8 +153,14 @@ double DistTrainer::RunWorkerBatch(uint32_t worker,
   // GPU cache, if configured) + NN forward/backward. Gradients accumulate
   // into the shared model; synchronous data parallelism averages them at
   // the round barrier, so no optimizer step here.
+  BatchAttribution attrib;
   ConsumeOutcome out =
-      consumer_->Consume(prepared, w.has_cache ? &w.cache : nullptr);
+      consumer_->Consume(prepared, w.has_cache ? &w.cache : nullptr,
+                         &attrib);
+  // Network time is part of batch preparation in the round math below;
+  // attribute it the same way so the verdict sees the same split.
+  attrib.sample += network_seconds;
+  attribs.push_back(attrib);
   ledger.rows_from_cache += out.transfer.rows_from_cache;
   loss_sum += out.loss_sum;
   const double transfer_seconds = out.times.data_transfer;
@@ -194,13 +206,15 @@ DistEpochStats DistTrainer::TrainEpoch() {
   }
 
   double loss_sum = 0.0;
+  std::vector<BatchAttribution> batch_attribs;
   for (size_t round = 0; round < max_rounds; ++round) {
     double round_max = 0.0;
     uint32_t active = 0;
     for (uint32_t p = 0; p < partition_.num_parts; ++p) {
       if (round >= batches[p].size()) continue;
-      round_max = std::max(
-          round_max, RunWorkerBatch(p, batches[p][round], stats, loss_sum));
+      round_max = std::max(round_max,
+                           RunWorkerBatch(p, batches[p][round], stats,
+                                          loss_sum, batch_attribs));
       ++active;
     }
     if (active == 0) continue;
@@ -219,9 +233,10 @@ DistEpochStats DistTrainer::TrainEpoch() {
     const double sync_seconds =
         active > 1 ? network_.Seconds(2 * grad_bytes, active) : 0.0;
     if (telemetry::Enabled()) {
-      telemetry::GetCounter("dist.rounds").Increment();
-      telemetry::GetCounter("dist.sync_bytes").Add(2 * grad_bytes);
-      telemetry::GetHistogram("dist.round_seconds",
+      telemetry::GetCounter(telemetry_names::kDistRounds).Increment();
+      telemetry::GetCounter(telemetry_names::kDistSyncBytes)
+          .Add(2 * grad_bytes);
+      telemetry::GetHistogram(telemetry_names::kDistRoundSeconds,
                               telemetry::ExponentialBuckets(1e-4, 4, 10))
           .Observe(round_max + sync_seconds);
       telemetry::Tracer& tracer = telemetry::Tracer::Get();
@@ -243,6 +258,13 @@ DistEpochStats DistTrainer::TrainEpoch() {
     stats.train_loss =
         loss_sum / static_cast<double>(dataset_.split.train.size());
   }
+  // Workers sample directly on the driver thread (no BatchSource), so
+  // loader_workers is 0 here: the loader-starved verdict cannot apply.
+  stats.attribution = AttributeEpoch(epoch_, batch_attribs,
+                                     stats.epoch_seconds,
+                                     /*loader_workers=*/0);
+  attribution_history_.push_back(stats.attribution);
+  PublishAttributionMetrics(stats.attribution);
   total_seconds_ += stats.epoch_seconds;
   ++epoch_;
   return stats;

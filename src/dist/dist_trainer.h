@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/attribution.h"
 #include "core/batch_consumer.h"
 #include "core/convergence.h"
 #include "core/trainer.h"
@@ -40,6 +41,12 @@ struct DistEpochStats {
   /// slowest worker's round time (barrier per model update).
   double epoch_seconds = 0.0;
   std::vector<WorkerStats> workers;
+  /// Stall attribution over every worker batch this epoch, in execution
+  /// order (round-major). Network seconds fold into the sample stage —
+  /// the same `prep = batch_prep + network` the round math uses. Workers
+  /// sample directly (no BatchSource), so the loader-starved verdict
+  /// never applies here.
+  EpochAttribution attribution;
 };
 
 /// Simulated synchronous data-parallel mini-batch GNN training over the
@@ -60,6 +67,11 @@ class DistTrainer {
                                                uint32_t patience = 10);
 
   const ConvergenceTracker& tracker() const { return tracker_; }
+  /// Per-epoch stall attribution, one entry per TrainEpoch call in order
+  /// (feeds the --report table and the steady-state verdict).
+  const std::vector<EpochAttribution>& attribution_history() const {
+    return attribution_history_;
+  }
   double total_virtual_seconds() const { return total_seconds_; }
   uint32_t num_workers() const { return partition_.num_parts; }
 
@@ -77,9 +89,11 @@ class DistTrainer {
 
   bool IsLocal(VertexId v, uint32_t worker) const;
   /// Trains one batch on `worker`; accumulates into the shared model's
-  /// gradients (no step) and returns the worker's virtual batch time.
+  /// gradients (no step), appends the batch's stall-attribution record to
+  /// `attribs`, and returns the worker's virtual batch time.
   double RunWorkerBatch(uint32_t worker, const std::vector<VertexId>& batch,
-                        DistEpochStats& stats, double& loss_sum);
+                        DistEpochStats& stats, double& loss_sum,
+                        std::vector<BatchAttribution>& attribs);
 
   const Dataset& dataset_;
   PartitionResult partition_;
@@ -95,6 +109,7 @@ class DistTrainer {
   std::vector<Worker> workers_;
   Rng rng_;
   ConvergenceTracker tracker_;
+  std::vector<EpochAttribution> attribution_history_;
   double total_seconds_ = 0.0;
   uint32_t epoch_ = 0;
 };

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 #include "graph/csr_graph.h"
 #include "sampling/sampled_subgraph.h"
 
@@ -177,10 +178,10 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
   }
   GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
   if (telemetry::Enabled()) {
-    telemetry::GetCounter("sampling.subgraphs").Increment();
-    telemetry::GetCounter("sampling.seeds").Add(seeds.size());
-    telemetry::GetCounter("sampling.vertices").Add(sg.TotalVertices());
-    telemetry::GetCounter("sampling.edges").Add(sg.TotalEdges());
+    telemetry::GetCounter(telemetry_names::kSamplingSubgraphs).Increment();
+    telemetry::GetCounter(telemetry_names::kSamplingSeeds).Add(seeds.size());
+    telemetry::GetCounter(telemetry_names::kSamplingVertices).Add(sg.TotalVertices());
+    telemetry::GetCounter(telemetry_names::kSamplingEdges).Add(sg.TotalEdges());
   }
   return sg;
 }

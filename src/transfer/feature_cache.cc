@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 #include "graph/csr_graph.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/sampled_subgraph.h"
@@ -19,8 +20,8 @@ namespace {
 /// how many rows the policy pinned (the denominator of cache_ratio).
 void RecordCacheBuild(uint64_t capacity_rows) {
   if (!telemetry::Enabled()) return;
-  telemetry::GetCounter("cache.builds").Increment();
-  telemetry::GetGauge("cache.capacity_rows")
+  telemetry::GetCounter(telemetry_names::kCacheBuilds).Increment();
+  telemetry::GetGauge(telemetry_names::kCacheCapacityRows)
       .Set(static_cast<int64_t>(capacity_rows));
 }
 

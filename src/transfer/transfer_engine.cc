@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/telemetry.h"
+#include "common/telemetry_names.h"
 #include "graph/csr_graph.h"
 #include "graph/dataset.h"
 #include "tensor/simd.h"
@@ -51,11 +52,11 @@ uint64_t CountMisses(const std::vector<VertexId>& vertices,
 /// volume, and the cache hit/miss split behind the Fig 15/16 hit rates.
 void RecordTransfer(const TransferStats& stats) {
   if (!telemetry::Enabled()) return;
-  telemetry::GetCounter("transfer.requests").Increment();
-  telemetry::GetCounter("transfer.bytes").Add(stats.bytes_moved);
-  telemetry::GetCounter("transfer.rows").Add(stats.rows_requested);
-  telemetry::GetCounter("cache.hits").Add(stats.rows_from_cache);
-  telemetry::GetCounter("cache.misses")
+  telemetry::GetCounter(telemetry_names::kTransferRequests).Increment();
+  telemetry::GetCounter(telemetry_names::kTransferBytes).Add(stats.bytes_moved);
+  telemetry::GetCounter(telemetry_names::kTransferRows).Add(stats.rows_requested);
+  telemetry::GetCounter(telemetry_names::kCacheHits).Add(stats.rows_from_cache);
+  telemetry::GetCounter(telemetry_names::kCacheMisses)
       .Add(stats.rows_requested - stats.rows_from_cache);
 }
 

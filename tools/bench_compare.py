@@ -47,12 +47,22 @@ def best_threads_sample(kernel):
     return max(samples, key=lambda s: s["threads"]) if samples else None
 
 
+def format_run_meta(label, doc):
+    """One line of provenance for a mismatch report."""
+    meta = doc.get("run_meta")
+    if not isinstance(meta, dict):
+        return f"  {label}: run_meta missing (pre-provenance artifact)"
+    fields = ["git_sha", "build_type", "threads", "simd", "loader_workers"]
+    parts = [f"{k}={meta.get(k, '?')}" for k in fields]
+    return f"  {label}: " + " ".join(parts)
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
     fresh, fresh_doc = load(argv[1])
-    baseline, _ = load(argv[2])
+    baseline, baseline_doc = load(argv[2])
     failures = []
 
     if not fresh_doc.get("all_identical", False):
@@ -95,6 +105,12 @@ def main(argv):
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}", file=sys.stderr)
+        # Provenance of both artifacts: a mismatch across different
+        # machines, simd tiers, or build types is usually the runs being
+        # incomparable, not a code regression.
+        print("run_meta of compared artifacts:", file=sys.stderr)
+        print(format_run_meta("fresh   ", fresh_doc), file=sys.stderr)
+        print(format_run_meta("baseline", baseline_doc), file=sys.stderr)
         return 1
     print(f"bench_compare: OK ({len(fresh)} kernels, "
           f"simd={fresh_doc.get('simd', '?')})")

@@ -93,6 +93,11 @@
 //                            a ParallelFor extent or inside a loop of a
 //                            function annotated `// gnndm-hot`; hoist
 //                            into caller-owned scratch, don't suppress
+//   metric-name-registry     GetCounter/GetGauge/GetHistogram call sites
+//                            in src/ and bench/ name instruments through
+//                            constants declared in src/common/
+//                            telemetry_names.h — a raw string literal or
+//                            an unregistered k-constant fails lint
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -335,7 +340,7 @@ const std::set<std::string>& KnownRules() {
       "thread-id-in-stats", "float-accum-in-parallel",
       "layering",           "transitive-include",
       "include-order",      "hot-path-alloc",
-      "simd-isolation",
+      "simd-isolation",     "metric-name-registry",
   };
   return kRules;
 }
@@ -1848,6 +1853,85 @@ SourceFile LoadFile(const fs::path& path, const fs::path& root,
   return f;
 }
 
+// ---------------------------------------------------------------------------
+// metric-name-registry: instrument names come from telemetry_names.h
+// ---------------------------------------------------------------------------
+
+/// Repo pass: every GetCounter/GetGauge/GetHistogram call in src/ and
+/// bench/ must name its instrument through a constant (or the sanctioned
+/// builder function) declared in src/common/telemetry_names.h. A raw
+/// string literal, or a k-prefixed identifier the registry does not
+/// declare, silently forks the series on a typo — so both fail lint.
+/// telemetry.{h,cc} themselves (the registry implementation) and
+/// telemetry_names.h are exempt; variables and parameters that forward a
+/// registered name are accepted as-is.
+void CheckMetricNameRegistry(const std::vector<SourceFile>& files) {
+  const SourceFile* registry = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.rel == "src/common/telemetry_names.h") registry = &f;
+  }
+  if (registry == nullptr) return;
+  // Registered constants: `... char kName[] = "..."`. Registered builder
+  // functions: `std::string Name(...)` declared in the registry header.
+  std::set<std::string> constants;
+  std::set<std::string> builders;
+  const std::vector<const Token*> reg = CodeTokens(*registry);
+  for (size_t i = 0; i + 2 < reg.size(); ++i) {
+    if (IsIdent(reg[i], "char") && reg[i + 1]->kind == TokKind::kIdent &&
+        IsPunct(reg[i + 2], "[")) {
+      constants.insert(reg[i + 1]->text);
+    }
+    if (IsStdQualified(reg, i, "string") && i + 4 < reg.size() &&
+        reg[i + 3]->kind == TokKind::kIdent && IsPunct(reg[i + 4], "(")) {
+      builders.insert(reg[i + 3]->text);
+    }
+  }
+  for (const SourceFile& f : files) {
+    if (!f.InDir("src/") && !f.InDir("bench/")) continue;
+    if (f.rel == "src/common/telemetry.h" ||
+        f.rel == "src/common/telemetry.cc" ||
+        f.rel == "src/common/telemetry_names.h") {
+      continue;
+    }
+    const std::vector<const Token*> toks = CodeTokens(f);
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(IsIdent(toks[i], "GetCounter") || IsIdent(toks[i], "GetGauge") ||
+            IsIdent(toks[i], "GetHistogram")) ||
+          !IsPunct(toks[i + 1], "(")) {
+        continue;
+      }
+      // Skip the declarations themselves (`Counter& GetCounter(...)`):
+      // a declaration's first argument token is a type name followed by
+      // more idents, which the checks below already accept — but a
+      // `const` right after the paren is a sure declaration marker.
+      const size_t arg = i + 2;
+      if (toks[arg]->kind == TokKind::kString) {
+        Report(f, toks[arg]->line, "metric-name-registry",
+               "instrument name is a raw string literal; use a constant "
+               "from src/common/telemetry_names.h so typos fail lint "
+               "instead of forking the series");
+        continue;
+      }
+      // Resolve a possibly qualified identifier chain to its last name.
+      size_t j = arg;
+      while (j + 2 < toks.size() && toks[j]->kind == TokKind::kIdent &&
+             IsPunct(toks[j + 1], "::")) {
+        j += 2;
+      }
+      if (toks[j]->kind != TokKind::kIdent) continue;
+      const std::string& name = toks[j]->text;
+      if (name.size() >= 2 && name[0] == 'k' &&
+          std::isupper(static_cast<unsigned char>(name[1])) &&
+          constants.count(name) == 0 && builders.count(name) == 0) {
+        Report(f, toks[j]->line, "metric-name-registry",
+               "'" + name +
+                   "' is not declared in src/common/telemetry_names.h; "
+                   "add it to the registry (or fix the typo)");
+      }
+    }
+  }
+}
+
 void RunFileRules(const SourceFile& f) {
   const std::vector<const Token*> toks = CodeTokens(f);
   CheckIncludeGuard(f);
@@ -1921,6 +2005,7 @@ void AnalyzeRepo(std::vector<SourceFile>& files, const fs::path& root,
   ModuleGraph graph = BuildModuleGraph(files);
   CheckLayering(files, manifest, graph);
   CheckTransitiveIncludes(files);
+  CheckMetricNameRegistry(files);
   ApplySuppressions(sups);
   SortFindings();
   if (manifest_out != nullptr) *manifest_out = std::move(manifest);

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/flight_recorder.h"
 #include "common/parallel_for.h"
 #include "common/telemetry.h"
+#include "core/attribution.h"
 #include "core/full_batch.h"
 #include "core/trainer.h"
 #include "dist/dist_trainer.h"
@@ -97,6 +99,14 @@ PipelineMode ParsePipeline(const std::string& name) {
   return PipelineMode::kNone;
 }
 
+/// The --report output: per-epoch stall attribution plus the
+/// steady-state bottleneck verdict.
+void PrintAttributionReport(const std::vector<EpochAttribution>& history) {
+  std::printf("%s", AttributionReport(history).ToAscii().c_str());
+  std::printf("bottleneck verdict: %s\n",
+              BottleneckName(SteadyStateVerdict(history)));
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.Has("help")) {
@@ -129,7 +139,14 @@ int Main(int argc, char** argv) {
         "                           ui.perfetto.dev) of all pipeline spans\n"
         "  --metrics-out=FILE.json  metrics snapshot (counters/histograms)\n"
         "  --telemetry=0            disable all telemetry (output is\n"
-        "                           byte-identical either way)\n");
+        "                           byte-identical either way)\n"
+        "  --report                 print the per-epoch stall-attribution\n"
+        "                           table and the steady-state bottleneck\n"
+        "                           verdict after training\n"
+        "  --postmortem=FILE.json   arm the crash flight recorder: a fatal\n"
+        "                           signal or failed GNNDM_CHECK dumps the\n"
+        "                           recent-event rings + metrics here\n"
+        "                           (also via the GNNDM_POSTMORTEM env)\n");
     return 0;
   }
 
@@ -139,6 +156,15 @@ int Main(int argc, char** argv) {
   const std::string metrics_out = flags.GetString("metrics-out", "");
   telemetry::SetEnabled(flags.GetBool("telemetry", true));
   if (!trace_out.empty()) telemetry::Tracer::Get().Start();
+
+  // --- Crash flight recorder. Recording is always on (lock- and
+  // allocation-free); a dump target arms the post-mortem paths. ---
+  if (flags.Has("postmortem")) {
+    flight_recorder::SetPostMortemPath(flags.GetString("postmortem", ""));
+  }
+  if (!flight_recorder::PostMortemPath().empty()) {
+    flight_recorder::InstallCrashHandlers();
+  }
 
   // Apply kernel threading before any compute (full-batch construction
   // gathers features in its constructor).
@@ -222,6 +248,11 @@ int Main(int argc, char** argv) {
     std::printf("test accuracy %.3f  peak device memory %.1f MB\n",
                 trainer.Evaluate(dataset->split.test),
                 trainer.PeakMemoryBytes() / 1e6);
+    if (flags.GetBool("report", false)) {
+      std::printf(
+          "(--report: full-batch mode has no per-batch pipeline, no stall "
+          "attribution)\n");
+    }
   } else if (workers > 1) {
     auto partitioner =
         MakePartitioner(flags.GetString("partitioner", "metis-vet"));
@@ -245,6 +276,9 @@ int Main(int argc, char** argv) {
     }
     std::printf("test accuracy %.3f\n",
                 trainer.Evaluate(dataset->split.test));
+    if (flags.GetBool("report", false)) {
+      PrintAttributionReport(trainer.attribution_history());
+    }
   } else {
     Trainer trainer(*dataset, config);
     if (flags.Has("load")) {
@@ -276,6 +310,9 @@ int Main(int argc, char** argv) {
     }
     std::printf("test accuracy %.3f\n",
                 trainer.Evaluate(dataset->split.test));
+    if (flags.GetBool("report", false)) {
+      PrintAttributionReport(trainer.attribution_history());
+    }
     if (flags.Has("save")) {
       Status status =
           SaveCheckpoint(trainer.model(), flags.GetString("save", ""));
