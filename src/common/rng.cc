@@ -2,15 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_set>
 
 namespace gnndm {
-
-std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
-  std::vector<uint32_t> out;
-  SampleWithoutReplacement(n, k, out);
-  return out;
-}
 
 void Rng::SampleWithoutReplacement(uint32_t n, uint32_t k,
                                    std::vector<uint32_t>& out) {
@@ -21,16 +14,19 @@ void Rng::SampleWithoutReplacement(uint32_t n, uint32_t k,
     return;
   }
   if (k * 3 < n) {
-    // Floyd's algorithm: expected O(k) with a small hash set.
-    std::unordered_set<uint32_t> chosen;
-    chosen.reserve(k * 2);
+    // Floyd's algorithm, expected O(k) draws. The chosen set is exactly
+    // the picks emitted so far, so membership is a linear scan over
+    // `out` — k is a sampler fanout (single digits to a few dozen), and
+    // the scan beats a hash set on both lookup cost and the per-call
+    // heap allocation it avoids in the sampler's hot hop loop. `j` can
+    // never already be chosen: iteration j is the first time any value
+    // > j-1's range is considered.
     out.reserve(k);
     for (uint32_t j = n - k; j < n; ++j) {
       uint32_t t = static_cast<uint32_t>(UniformInt(j + 1));
-      if (chosen.insert(t).second) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
         out.push_back(t);
       } else {
-        chosen.insert(j);
         out.push_back(j);
       }
     }

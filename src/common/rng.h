@@ -103,13 +103,10 @@ class Rng {
   }
 
   /// Samples `k` distinct indices from [0, n) in O(k) expected time
-  /// (Floyd's algorithm for small k, reservoir fallback when k ~ n).
-  /// The returned order is unspecified. When k >= n returns all of [0, n).
-  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
-
-  /// Allocation-free variant for hot loops: fills `out` (clearing any
-  /// previous contents, reusing its capacity) with the same draws — and
-  /// the same RNG stream consumption — as the returning overload.
+  /// (Floyd's algorithm for small k, partial Fisher–Yates when k ~ n),
+  /// filling `out` — clearing any previous contents and reusing its
+  /// capacity, so hot loops stay allocation-free once warm. The emitted
+  /// order is unspecified. When k >= n fills `out` with all of [0, n).
   void SampleWithoutReplacement(uint32_t n, uint32_t k,
                                 std::vector<uint32_t>& out);
 

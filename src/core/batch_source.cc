@@ -130,13 +130,21 @@ size_t AsyncBatchSource::buffered() {
 }
 
 void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
-  // Per-worker instrument names are built once; the hot loop only bumps
-  // pre-resolved counters.
+  // Per-worker instrument names are built once; registry lookups take the
+  // registry mutex, so every instrument the loop touches is pre-resolved
+  // here and the steady state is relaxed atomic bumps only.
   telemetry::Counter& produced = telemetry::GetCounter(
       telemetry_names::LoaderWorkerProduced(worker_id));
+  telemetry::Histogram& wait_hist =
+      WaitHistogram(telemetry_names::kLoaderProducerWaitSeconds);
+  telemetry::Counter& window_waits =
+      telemetry::GetCounter(telemetry_names::kLoaderWorkerWindowWaits);
+  telemetry::Gauge& occupancy =
+      telemetry::GetGauge(telemetry_names::kLoaderReorderOccupancy);
   for (;;) {
     uint32_t i = 0;
     {
+      // gnndm-lint: suppress(parallel-context): claim lock is the sanctioned work-distribution point, held for two integer ops
       MutexLock lock(mu_);
       if (stop_ || next_claim_ >= batches_.size()) return;
       i = next_claim_++;
@@ -150,18 +158,18 @@ void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
     {
       // timer-ok: measures condvar wait, not a pipeline stage.
       WallTimer wait_timer;
+      // gnndm-lint: suppress(parallel-context): publish lock is the sanctioned reorder-ring handoff; batch production happened outside it
       MutexLock lock(mu_);
       bool waited = false;
       while (!stop_ && i >= next_deliver_ + queue_depth_) {
         waited = true;
+        // gnndm-lint: suppress(parallel-context): backpressure by design — this condvar wait is what bounds the reorder ring
         window_open_.Wait(mu_);
       }
       if (telemetry::Enabled()) {
-        WaitHistogram(telemetry_names::kLoaderProducerWaitSeconds)
-            .Observe(wait_timer.Seconds());
+        wait_hist.Observe(wait_timer.Seconds());
         if (waited) {
-          telemetry::GetCounter(telemetry_names::kLoaderWorkerWindowWaits)
-              .Increment();
+          window_waits.Increment();
         }
       }
       if (stop_) return;
@@ -169,8 +177,8 @@ void AsyncBatchSource::WorkerLoop(uint32_t worker_id) {
       ++buffered_;
       if (telemetry::Enabled()) {
         produced.Increment();
-        telemetry::GetGauge(telemetry_names::kLoaderReorderOccupancy)
-            .Set(static_cast<int64_t>(buffered_));
+        occupancy.Set(static_cast<int64_t>(buffered_));
+        // gnndm-lint: suppress(parallel-context): trace ring push takes a short lock; tracing is opt-in and off by default
         telemetry::Tracer::Get().AddCounterSample(
             telemetry_names::kLoaderReorderOccupancy,
             static_cast<double>(buffered_));

@@ -178,10 +178,21 @@ SampledSubgraph NeighborSampler::Sample(const CsrGraph& graph,
   }
   GNNDM_DCHECK_OK(sg.Validate(graph.num_vertices()));
   if (telemetry::Enabled()) {
-    telemetry::GetCounter(telemetry_names::kSamplingSubgraphs).Increment();
-    telemetry::GetCounter(telemetry_names::kSamplingSeeds).Add(seeds.size());
-    telemetry::GetCounter(telemetry_names::kSamplingVertices).Add(sg.TotalVertices());
-    telemetry::GetCounter(telemetry_names::kSamplingEdges).Add(sg.TotalEdges());
+    // Registry lookups take the registry mutex; resolve the handles once
+    // (instruments live for the process) so the per-Sample cost is four
+    // relaxed atomic bumps.
+    static telemetry::Counter& subgraphs =
+        telemetry::GetCounter(telemetry_names::kSamplingSubgraphs);
+    static telemetry::Counter& seed_count =
+        telemetry::GetCounter(telemetry_names::kSamplingSeeds);
+    static telemetry::Counter& vertices =
+        telemetry::GetCounter(telemetry_names::kSamplingVertices);
+    static telemetry::Counter& edges =
+        telemetry::GetCounter(telemetry_names::kSamplingEdges);
+    subgraphs.Increment();
+    seed_count.Add(seeds.size());
+    vertices.Add(sg.TotalVertices());
+    edges.Add(sg.TotalEdges());
   }
   return sg;
 }

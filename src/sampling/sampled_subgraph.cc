@@ -28,42 +28,46 @@ Status SampledSubgraph::Validate(VertexId num_graph_vertices) const {
   }
   for (size_t l = 0; l < layers.size(); ++l) {
     const SampleLayer& layer = layers[l];
-    const std::string tag = "subgraph layer " + std::to_string(l);
+    // Error strings are built only on the failure path: Validate runs per
+    // sampled subgraph (under GNNDM_DCHECK_OK in the samplers), so the
+    // happy path must stay allocation-free.
+    const auto fail = [l](const std::string& why) {
+      return Status::Internal("subgraph layer " + std::to_string(l) + ": " +
+                              why);
+    };
     if (layer.num_src != node_ids[l].size()) {
-      return Status::Internal(tag + ": num_src != source frontier size");
+      return fail("num_src != source frontier size");
     }
     if (layer.num_dst != node_ids[l + 1].size()) {
-      return Status::Internal(tag + ": num_dst != destination frontier size");
+      return fail("num_dst != destination frontier size");
     }
     if (layer.offsets.size() != static_cast<size_t>(layer.num_dst) + 1) {
-      return Status::Internal(tag + ": offsets must have num_dst + 1 entries");
+      return fail("offsets must have num_dst + 1 entries");
     }
     if (!layer.offsets.empty()) {
       if (layer.offsets.front() != 0) {
-        return Status::Internal(tag + ": offsets must start at 0");
+        return fail("offsets must start at 0");
       }
       if (layer.offsets.back() != layer.neighbors.size()) {
-        return Status::Internal(tag + ": offsets do not span neighbors");
+        return fail("offsets do not span neighbors");
       }
     }
     for (size_t i = 0; i + 1 < layer.offsets.size(); ++i) {
       if (layer.offsets[i] > layer.offsets[i + 1]) {
-        return Status::Internal(tag + ": offsets not monotone");
+        return fail("offsets not monotone");
       }
     }
     for (uint32_t local : layer.neighbors) {
       if (local >= layer.num_src) {
-        return Status::Internal(tag + ": dangling local source index " +
-                                std::to_string(local));
+        return fail("dangling local source index " + std::to_string(local));
       }
     }
     // Destinations must be a verbatim prefix of the source frontier so a
     // vertex's own layer-l features are available for COMBINE.
     for (size_t i = 0; i < node_ids[l + 1].size(); ++i) {
       if (i >= node_ids[l].size() || node_ids[l][i] != node_ids[l + 1][i]) {
-        return Status::Internal(tag +
-                                ": destination frontier is not a prefix of "
-                                "the source frontier");
+        return fail(
+            "destination frontier is not a prefix of the source frontier");
       }
     }
   }

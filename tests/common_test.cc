@@ -99,8 +99,9 @@ TEST(RngTest, NormalHasRoughlyUnitMoments) {
 
 TEST(RngTest, SampleWithoutReplacementIsDistinct) {
   Rng rng(13);
+  std::vector<uint32_t> picks;
   for (uint32_t k : {1u, 5u, 50u, 99u}) {
-    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(100, k);
+    rng.SampleWithoutReplacement(100, k, picks);
     std::set<uint32_t> unique(picks.begin(), picks.end());
     EXPECT_EQ(unique.size(), k);
     for (uint32_t p : picks) EXPECT_LT(p, 100u);
@@ -109,7 +110,8 @@ TEST(RngTest, SampleWithoutReplacementIsDistinct) {
 
 TEST(RngTest, SampleWithoutReplacementAllWhenKGeqN) {
   Rng rng(13);
-  std::vector<uint32_t> picks = rng.SampleWithoutReplacement(10, 20);
+  std::vector<uint32_t> picks;
+  rng.SampleWithoutReplacement(10, 20, picks);
   EXPECT_EQ(picks.size(), 10u);
 }
 

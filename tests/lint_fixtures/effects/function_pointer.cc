@@ -1,0 +1,41 @@
+// Fixture: a bare function name passed as an argument gets a
+// conservative pointer edge to its unique free-function definition, so
+// a lock reached through a dispatch-table hook is still visible to the
+// parallel-context rule.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/parallel_for.h"
+
+namespace gnndm {
+
+class SpinGate {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+SpinGate g_gate;
+
+void LockyHook(uint32_t v) {
+  g_gate.lock();  // expect: parallel-context through the pointer edge
+  g_gate.unlock();
+}
+
+void PlainHook(uint32_t v) {}
+
+void Dispatch(uint32_t v, void (*hook)(uint32_t)) { hook(v); }
+
+void ParallelWork(size_t n) {
+  ParallelFor(n, 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      Dispatch(static_cast<uint32_t>(i), LockyHook);
+    }
+  });
+}
+
+void SerialWork(uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) Dispatch(i, PlainHook);  // expect: clean
+}
+
+}  // namespace gnndm

@@ -1,0 +1,33 @@
+// Fixture: invoking a FunctionRef parameter adds no edge (the caller
+// that materialized the callable owns its effects), and a lambda's
+// effects attach to its lexically enclosing function — so the generic
+// helper stays clean while the hot caller that hands it an allocating
+// lambda is the one flagged.
+#include <cstdint>
+#include <vector>
+
+#include "common/function_ref.h"
+
+namespace gnndm {
+
+int MakeScratch(uint32_t v) {
+  std::vector<uint32_t> tmp(v + 1);  // expect: flagged via the hot caller
+  return static_cast<int>(tmp.back());
+}
+
+void ForEach(uint32_t n, FunctionRef<void(uint32_t)> fn) {
+  for (uint32_t i = 0; i < n; ++i) fn(i);  // callable param: no edge
+}
+
+// gnndm-hot
+void HotCaller(uint32_t n) {
+  for (uint32_t r = 0; r < n; ++r) {
+    ForEach(n, [](uint32_t v) { MakeScratch(v); });
+  }
+}
+
+void ColdCaller(uint32_t n) {
+  ForEach(n, [](uint32_t v) { MakeScratch(v); });  // expect: clean (not hot)
+}
+
+}  // namespace gnndm

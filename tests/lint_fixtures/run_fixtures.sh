@@ -11,7 +11,10 @@ FIXTURE_DIR="${2:?usage: run_fixtures.sh <path-to-gnndm_lint> <fixture-dir>}"
 
 status=0
 shopt -s nullglob
-fixtures=("${FIXTURE_DIR}"/*.cc)
+# Top-level fixtures exercise the per-file rules; effects/ holds the
+# call-graph / effect-analysis corpus (overload sets, FunctionRef
+# lambdas, function pointers, virtual overrides, recursive cycles).
+fixtures=("${FIXTURE_DIR}"/*.cc "${FIXTURE_DIR}"/effects/*.cc)
 if [[ ${#fixtures[@]} -eq 0 ]]; then
   echo "FAIL: no fixtures found in ${FIXTURE_DIR}" >&2
   exit 1

@@ -1,0 +1,49 @@
+// Interprocedural effect analysis over the call graph: per-function
+// intrinsic effects (allocates / locks / blocks / io / raw-rng) scanned
+// from token patterns, propagated bottom-up to a fixpoint, then checked
+// against the declared contracts:
+//   - parallel-context: no locks/blocks/io reachable from a ParallelFor
+//     body, or from loop-resident call paths of a producer-thread body
+//     (one-time thread setup is exempt, as are static-local
+//     initializers, which run once);
+//   - hot-transitive-alloc: a `// gnndm-hot` annotation propagates to
+//     every reachable callee — allocation that lands on a per-iteration
+//     path of a hot function is a finding even when the allocating code
+//     is itself unannotated (the direct in-loop/in-parallel cases stay
+//     with the per-file hot-path-alloc rule).
+// Findings carry the call chain from the root so the diagnostic shows
+// *why* a line is hot or parallel.
+#ifndef GNNDM_TOOLS_LINT_EFFECTS_H_
+#define GNNDM_TOOLS_LINT_EFFECTS_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.h"
+#include "lint/source_file.h"
+
+namespace gnndm_lint {
+
+/// Fills own_effects/origins for every function, zeroes the boundary
+/// files (parallel_for / thread_pool / flight_recorder / lock_order),
+/// and propagates callee effects into `effects` until a fixpoint.
+void ComputeEffects(const std::vector<SourceFile>& files, CallGraph& g);
+
+/// parallel-context rule (requires ComputeEffects first).
+void CheckParallelContext(const std::vector<SourceFile>& files,
+                          const CallGraph& g);
+
+/// hot-transitive-alloc rule (requires ComputeEffects first).
+void CheckHotTransitiveAlloc(const std::vector<SourceFile>& files,
+                             const CallGraph& g);
+
+/// Machine-readable exports (byte-stable across runs on the same tree).
+void WriteEffectsJson(const std::string& path,
+                      const std::vector<SourceFile>& files,
+                      const CallGraph& g);
+void WriteEffectsDot(const std::string& path,
+                     const std::vector<SourceFile>& files, const CallGraph& g);
+
+}  // namespace gnndm_lint
+
+#endif  // GNNDM_TOOLS_LINT_EFFECTS_H_

@@ -1,0 +1,24 @@
+// Scope scanner: classifies every brace in the code-token stream and
+// exposes the result as per-token ScopeFlag bits. The classification is
+// syntactic but token-accurate: braces inside strings/comments were
+// already removed by the lexer, preprocessor lines (including multi-line
+// macro bodies via backslash continuation) are flagged kPp and skipped,
+// and lambdas, braceless loop bodies, and ParallelFor call extents are
+// all tracked.
+#ifndef GNNDM_TOOLS_LINT_SCOPES_H_
+#define GNNDM_TOOLS_LINT_SCOPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lint/source_file.h"
+
+namespace gnndm_lint {
+
+std::vector<uint8_t> ScanScopes(const SourceFile& f,
+                                const std::vector<const Token*>& toks,
+                                const std::vector<bool>& pp_lines);
+
+}  // namespace gnndm_lint
+
+#endif  // GNNDM_TOOLS_LINT_SCOPES_H_

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The machine-readable lint exports must be deterministic: two runs over
+# the same tree produce byte-identical --effects-json and --findings-json
+# (CI diffs them across commits, so ordering jitter would drown real
+# changes), and every export must re-parse cleanly with gnndm_jsonlint.
+# --bench-json carries wall times, so it is JsonLinted but not compared.
+#
+#   lint_json_stable.sh <gnndm_lint> <gnndm_jsonlint> <repo-root> <out-dir>
+set -euo pipefail
+
+LINT_BIN="${1:?usage: lint_json_stable.sh <lint> <jsonlint> <root> <out>}"
+JSONLINT_BIN="${2:?usage: lint_json_stable.sh <lint> <jsonlint> <root> <out>}"
+REPO_ROOT="${3:?usage: lint_json_stable.sh <lint> <jsonlint> <root> <out>}"
+OUT_DIR="${4:?usage: lint_json_stable.sh <lint> <jsonlint> <root> <out>}"
+
+mkdir -p "${OUT_DIR}"
+
+"${LINT_BIN}" "${REPO_ROOT}" \
+  --effects-json="${OUT_DIR}/effects_a.json" \
+  --findings-json="${OUT_DIR}/findings_a.json" \
+  --bench-json="${OUT_DIR}/BENCH_lint.json"
+"${LINT_BIN}" "${REPO_ROOT}" \
+  --effects-json="${OUT_DIR}/effects_b.json" \
+  --findings-json="${OUT_DIR}/findings_b.json"
+
+if ! cmp -s "${OUT_DIR}/effects_a.json" "${OUT_DIR}/effects_b.json"; then
+  echo "FAIL: --effects-json differs between two runs on the same tree" >&2
+  diff "${OUT_DIR}/effects_a.json" "${OUT_DIR}/effects_b.json" | head -20 >&2
+  exit 1
+fi
+if ! cmp -s "${OUT_DIR}/findings_a.json" "${OUT_DIR}/findings_b.json"; then
+  echo "FAIL: --findings-json differs between two runs on the same tree" >&2
+  diff "${OUT_DIR}/findings_a.json" "${OUT_DIR}/findings_b.json" | head -20 >&2
+  exit 1
+fi
+
+"${JSONLINT_BIN}" "${OUT_DIR}/effects_a.json" "${OUT_DIR}/findings_a.json" \
+  "${OUT_DIR}/BENCH_lint.json"
+
+echo "PASS: effect/finding exports byte-stable and JsonLint-clean"

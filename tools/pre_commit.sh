@@ -3,11 +3,14 @@
 # gnndm_jsonlint on every staged .json file. Wire it up with:
 #   ln -s ../../tools/pre_commit.sh .git/hooks/pre-commit
 #
-# The lint always analyzes the whole repo (the layering and
-# transitive-include passes are graph properties — a staged file can
-# break a rule in an unstaged one), but it only runs at all when a
-# staged file could affect it. GNNDM_BUILD_DIR overrides the build tree
-# (default: ./build).
+# The lint always analyzes the whole repo (the layering,
+# transitive-include, and interprocedural effect passes are graph
+# properties — a staged file can break a contract in an unstaged one),
+# but it only runs at all when a staged file could affect it. A commit
+# is rejected when it adds an unsuppressed finding — including the
+# call-graph contracts (parallel-context, hot-transitive-alloc) — or
+# leaves an orphan suppression (unused-suppression is itself a finding).
+# GNNDM_BUILD_DIR overrides the build tree (default: ./build).
 set -euo pipefail
 
 REPO_ROOT="$(git rev-parse --show-toplevel)"
@@ -48,7 +51,9 @@ if [[ ${#cpp_staged[@]} -gt 0 ]]; then
   LINT="${BUILD_DIR}/tools/gnndm_lint"
   ensure_tool gnndm_lint "${LINT}" || exit 1
   if ! "${LINT}" "${REPO_ROOT}"; then
-    echo "pre_commit: gnndm_lint failed (mechanical findings: ${LINT} --fix .)" >&2
+    echo "pre_commit: gnndm_lint failed (mechanical findings: ${LINT} --fix .;" >&2
+    echo "  effect-contract findings print the call chain — fix the code or" >&2
+    echo "  add 'gnndm-lint: suppress(<rule>): <why>' at the flagged line)" >&2
     status=1
   fi
 fi
